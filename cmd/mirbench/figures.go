@@ -1,0 +1,295 @@
+package main
+
+import (
+	"fmt"
+
+	"mir/internal/core"
+	"mir/internal/data"
+	"mir/internal/geom"
+)
+
+func init() {
+	register("7", "TripAdvisor case study: 2-D regions per aspect pair (TA-like data)", fig7)
+	register("8", "TA: AA vs BSL running time vs k, m, d, |U|", fig8)
+	register("9", "HOTEL/HOUSE/NBA stand-ins: time and memory vs m", fig9)
+	register("10a", "product distribution (IND/COR/ANTI): time vs m, group counts", fig10a)
+	register("10b", "user sets (CL/TA/UN): time vs m", fig10b)
+	register("11a", "time vs k (CL/TA/UN users)", fig11a)
+	register("11b", "number of groups and average group size vs k", fig11b)
+	register("12a", "time vs d (CL/TA/UN users)", fig12a)
+	register("12b", "arrangement cells vs d", fig12b)
+	register("13a", "time vs |P|", fig13a)
+	register("13b", "time vs |U|", fig13b)
+}
+
+// taInstance builds the TA-like instance at the requested projection.
+func taInstance(cfg config, nU, d, k int, off int64) *core.Instance {
+	rng := cfg.rng(off)
+	nHotels := scaled(data.TripAdvisorHotels, maxf(cfg.scale, 0.2), 200)
+	nUsersAll := scaled(data.TripAdvisorUsers, cfg.scale, 400)
+	if nU > nUsersAll {
+		nU = nUsersAll
+	}
+	ps, ws := data.TripAdvisor(rng, nHotels, nUsersAll)
+	ps = projectTo(ps, d)
+	ws = projectUsers(ws, d)
+	// Random |U|-sample of the full user set, as in the paper.
+	idx := rng.Perm(len(ws))[:nU]
+	sample := make([]geom.Vector, nU)
+	for i, j := range idx {
+		sample[i] = ws[j]
+	}
+	inst, err := core.NewInstance(ps, withK(sample, k))
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fig7(cfg config) {
+	pairs := [][2]int{{1, 2}, {3, 4}} // room-location, cleanliness-front desk
+	aspects := []string{"value", "room", "location", "cleanliness", "front desk", "service", "business service"}
+	rngBase := cfg.rng(70)
+	nHotels := scaled(data.TripAdvisorHotels, maxf(cfg.scale, 0.2), 200)
+	nUsers := scaled(data.TripAdvisorUsers, cfg.scale, 400)
+	// The 2-D case study is run on a bounded sample: past ~600 users the
+	// arrangement growth dominates without changing the picture.
+	if nUsers > 600 && cfg.scale < 1 {
+		nUsers = 600
+	}
+	header("aspect pair", "m", "cells", "area", "hotels in R", "time(s)")
+	for _, pair := range pairs {
+		ps, ws := data.TripAdvisorProjected(rngBase, nHotels, nUsers, []int{pair[0], pair[1]})
+		inst, err := core.NewInstance(ps, withK(ws, cfg.k))
+		if err != nil {
+			panic(err)
+		}
+		m := mOf(0.5, nUsers)
+		var reg *core.Region
+		secs := timeIt(func() {
+			reg, err = core.AA(inst, m, core.Options{})
+			if err != nil {
+				panic(err)
+			}
+		})
+		inside := 0
+		for _, p := range ps {
+			if reg.Contains(p) {
+				inside++
+			}
+		}
+		row(fmt.Sprintf("%s-%s", aspects[pair[0]], aspects[pair[1]]),
+			m, len(reg.Cells), reg.Area2D(), inside, secs)
+	}
+	fmt.Println("(the more strongly correlated pair yields the larger region, matching the")
+	fmt.Println(" paper's Figure 7 discussion)")
+}
+
+func fig8(cfg config) {
+	// BSL becomes intractable quickly; cap its user count like the paper's
+	// 10-hour force stop.
+	bslCap := 400
+
+	fmt.Println("-- (a) varying k --")
+	header("k", "AA(s)", "BSL(s)")
+	for _, k := range []int{1, 5, 10, 20, 40, 80} {
+		inst := taInstance(cfg, cfg.nU, cfg.d, k, int64(80+k))
+		m := mOf(0.5, len(inst.Users))
+		aaS := timeIt(func() { mustAA(inst, m, core.Options{}) })
+		bslS := "-"
+		if len(inst.Users) <= bslCap {
+			bslS = fmt.Sprintf("%.4f", timeIt(func() { mustBSL(inst, m) }))
+		}
+		row(k, aaS, bslS)
+	}
+
+	fmt.Println("-- (b) varying m --")
+	header("m/|U|", "AA(s)", "BSL(s)")
+	inst := taInstance(cfg, cfg.nU, cfg.d, cfg.k, 81)
+	for _, frac := range mFracs {
+		m := mOf(frac, len(inst.Users))
+		aaS := timeIt(func() { mustAA(inst, m, core.Options{}) })
+		bslS := "-"
+		if len(inst.Users) <= bslCap {
+			bslS = fmt.Sprintf("%.4f", timeIt(func() { mustBSL(inst, m) }))
+		}
+		row(frac, aaS, bslS)
+	}
+
+	fmt.Println("-- (c) varying d --")
+	header("d", "|U|", "AA(s)", "BSL(s)")
+	for _, d := range []int{2, 3, 4, 5, 6, 7} {
+		inst := taInstance(cfg, cfg.uFor(d), d, cfg.k, int64(82+d))
+		m := mOf(0.5, len(inst.Users))
+		aaS := timeIt(func() { mustAA(inst, m, core.Options{}) })
+		bslS := "-"
+		if len(inst.Users) <= bslCap && d <= 3 {
+			bslS = fmt.Sprintf("%.4f", timeIt(func() { mustBSL(inst, m) }))
+		}
+		row(d, len(inst.Users), aaS, bslS)
+	}
+
+	fmt.Println("-- (d) varying |U| --")
+	header("|U|", "AA(s)", "BSL(s)")
+	for _, nU := range []int{cfg.nU / 10, cfg.nU / 2, cfg.nU, cfg.nU * 2} {
+		if nU < 10 {
+			continue
+		}
+		inst := taInstance(cfg, nU, cfg.d, cfg.k, int64(90+nU))
+		m := mOf(0.5, len(inst.Users))
+		aaS := timeIt(func() { mustAA(inst, m, core.Options{}) })
+		bslS := "-"
+		if len(inst.Users) <= bslCap {
+			bslS = fmt.Sprintf("%.4f", timeIt(func() { mustBSL(inst, m) }))
+		}
+		row(len(inst.Users), aaS, bslS)
+	}
+}
+
+func fig9(cfg config) {
+	sets := []struct {
+		name string
+		n, d int
+	}{
+		{"HOTEL", scaled(data.HotelN, cfg.scale, 400), data.HotelD},
+		{"HOUSE", scaled(data.HouseN, cfg.scale, 400), data.HouseD},
+		{"NBA", scaled(data.NBAN, maxf(cfg.scale, 0.05), 400), data.NBAD},
+	}
+	header("dataset", "|U|", "m/|U|", "time(s)", "mem(MB)")
+	for _, s := range sets {
+		inst := cfg.instance(s.name, "CL", s.n, cfg.uFor(s.d), s.d, cfg.k, 900)
+		for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			m := mOf(frac, len(inst.Users))
+			secs := timeIt(func() { mustAA(inst, m, core.Options{}) })
+			row(s.name, len(inst.Users), frac, secs, memMB())
+		}
+	}
+}
+
+func fig10a(cfg config) {
+	header("products", "m/|U|", "time(s)", "groups")
+	for _, kind := range []string{"COR", "IND", "ANTI"} {
+		inst := cfg.instance(kind, "CL", cfg.nP, cfg.nU, cfg.d, cfg.k, 100)
+		gs := inst.GroupStats()
+		for _, frac := range mFracs {
+			m := mOf(frac, len(inst.Users))
+			secs := timeIt(func() { mustAA(inst, m, core.Options{}) })
+			row(kind, frac, secs, gs.NumGroups)
+		}
+	}
+}
+
+func fig10b(cfg config) {
+	header("users", "m/|U|", "time(s)", "groups")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		inst := cfg.instance("IND", kind, cfg.nP, cfg.nU, cfg.d, cfg.k, 101)
+		gs := inst.GroupStats()
+		for _, frac := range mFracs {
+			m := mOf(frac, len(inst.Users))
+			secs := timeIt(func() { mustAA(inst, m, core.Options{}) })
+			row(kind, frac, secs, gs.NumGroups)
+		}
+	}
+}
+
+func fig11a(cfg config) {
+	header("users", "k", "time(s)")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		for _, k := range []int{1, 5, 10, 20, 40, 80} {
+			inst := cfg.instance("IND", kind, cfg.nP, cfg.nU, cfg.d, k, int64(110+k))
+			m := mOf(0.5, len(inst.Users))
+			secs := timeIt(func() { mustAA(inst, m, core.Options{}) })
+			row(kind, k, secs)
+		}
+	}
+}
+
+func fig11b(cfg config) {
+	header("users", "k", "groups", "avg size", "avg hull")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		for _, k := range []int{1, 5, 10, 20, 40, 80} {
+			inst := cfg.instance("IND", kind, cfg.nP, cfg.nU, cfg.d, k, int64(115+k))
+			gs := inst.GroupStats()
+			row(kind, k, gs.NumGroups, gs.AvgSize, gs.AvgHullSize)
+		}
+	}
+}
+
+func fig12a(cfg config) {
+	header("users", "d", "|U|", "time(s)")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		for _, d := range []int{2, 3, 4, 5, 6, 7} {
+			inst := cfg.instance("IND", kind, cfg.nP, cfg.uFor(d), d, cfg.k, int64(120+d))
+			m := mOf(0.5, len(inst.Users))
+			secs := timeIt(func() { mustAA(inst, m, core.Options{}) })
+			row(kind, d, len(inst.Users), secs)
+		}
+	}
+}
+
+func fig12b(cfg config) {
+	header("users", "d", "|U|", "cells")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		for _, d := range []int{2, 3, 4, 5, 6, 7} {
+			inst := cfg.instance("IND", kind, cfg.nP, cfg.uFor(d), d, cfg.k, int64(125+d))
+			m := mOf(0.5, len(inst.Users))
+			reg := mustAA(inst, m, core.Options{})
+			row(kind, d, len(inst.Users), reg.Stats.Cells)
+		}
+	}
+}
+
+func fig13a(cfg config) {
+	header("users", "|P|", "time(s)")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		for _, mul := range []float64{0.1, 0.5, 1.0, 1.5, 2.0} {
+			nP := int(float64(cfg.nP) * mul)
+			if nP < 100 {
+				nP = 100
+			}
+			inst := cfg.instance("IND", kind, nP, cfg.nU, cfg.d, cfg.k, int64(130+int(10*mul)))
+			m := mOf(0.5, len(inst.Users))
+			secs := timeIt(func() { mustAA(inst, m, core.Options{}) })
+			row(kind, nP, secs)
+		}
+	}
+}
+
+func fig13b(cfg config) {
+	header("users", "|U|", "time(s)")
+	for _, kind := range []string{"CL", "TA", "UN"} {
+		for _, mul := range []float64{0.25, 0.5, 1.0, 2.0} {
+			nU := int(float64(cfg.nU) * mul)
+			if nU < 10 {
+				nU = 10
+			}
+			inst := cfg.instance("IND", kind, cfg.nP, nU, cfg.d, cfg.k, int64(140+int(10*mul)))
+			m := mOf(0.5, len(inst.Users))
+			secs := timeIt(func() { mustAA(inst, m, core.Options{}) })
+			row(kind, len(inst.Users), secs)
+		}
+	}
+}
+
+func mustAA(inst *core.Instance, m int, opts core.Options) *core.Region {
+	reg, err := core.AA(inst, m, opts)
+	if err != nil {
+		panic(err)
+	}
+	return reg
+}
+
+func mustBSL(inst *core.Instance, m int) *core.Region {
+	reg, err := core.BSL(inst, m)
+	if err != nil {
+		panic(err)
+	}
+	return reg
+}

@@ -1,0 +1,197 @@
+// Command mircli runs mIR and standing top-k influence queries from the
+// shell, over CSV files or generated datasets.
+//
+// Data sources (mutually exclusive with -gen-*):
+//
+//	-products file.csv    one product per row, d attribute columns in [0,1]
+//	-users file.csv       one user per row: k, then d weight columns
+//
+// or generation:
+//
+//	-gen-products IND|COR|ANTI -gen-users CL|UN -n 10000 -u 500 -d 4 -k 10
+//
+// Queries:
+//
+//	mircli -query region -m 250            # m-impact region summary
+//	mircli -query contains -m 250 -point 0.7,0.8,0.6,0.9
+//	mircli -query co -m 250 -cost l2       # cheapest influential product
+//	mircli -query improve -target 3 -budget 0.4
+//	mircli -query budgeted-co -budget 1.2
+//	mircli -query cheapest-upgrade -target 3 -m 250
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"mir"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mircli: ")
+
+	productsFile := flag.String("products", "", "CSV file of products")
+	usersFile := flag.String("users", "", "CSV file of users (k + weights per row)")
+	genProducts := flag.String("gen-products", "IND", "generate products: IND, COR, ANTI")
+	genUsers := flag.String("gen-users", "CL", "generate users: CL, UN")
+	n := flag.Int("n", 10000, "generated product count")
+	u := flag.Int("u", 500, "generated user count")
+	d := flag.Int("d", 4, "generated dimensionality")
+	k := flag.Int("k", 10, "generated per-user k")
+	seed := flag.Int64("seed", 1, "generation seed")
+
+	query := flag.String("query", "region", "region | contains | coverage | co | improve | budgeted-co | cheapest-upgrade | stats")
+	m := flag.Int("m", 0, "coverage threshold (default |U|/2)")
+	point := flag.String("point", "", "comma-separated attribute vector")
+	costName := flag.String("cost", "l2", "cost model: l2 | l1")
+	budget := flag.Float64("budget", 0.5, "budget for improve / budgeted-co")
+	target := flag.Int("target", 0, "product index for improve / cheapest-upgrade")
+	flag.Parse()
+
+	products, users := loadData(*productsFile, *usersFile, *genProducts, *genUsers, *n, *u, *d, *k, *seed)
+	if *m == 0 {
+		*m = len(users) / 2
+		if *m < 1 {
+			*m = 1
+		}
+	}
+	cost := mir.L2()
+	if strings.EqualFold(*costName, "l1") {
+		cost = mir.L1()
+	}
+
+	an, err := mir.NewAnalyzer(products, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: |P|=%d |U|=%d d=%d\n", an.NumProducts(), an.NumUsers(), an.Dim())
+
+	switch *query {
+	case "region":
+		reg, err := an.ImpactRegion(*m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := reg.Stats()
+		fmt.Printf("m=%d impact region: %d cells\n", *m, reg.NumCells())
+		if an.Dim() == 2 {
+			fmt.Printf("area: %.4f\n", reg.Area())
+		}
+		fmt.Printf("work: %d arrangement cells, %d splits, %d LP tests, %d fast tests\n",
+			st.Cells, st.Splits, st.ContainmentTests, st.FastTests)
+		fmt.Printf("early decisions: %d reported, %d eliminated\n",
+			st.EarlyReported, st.EarlyEliminated)
+	case "contains":
+		p := parsePoint(*point, an.Dim())
+		reg, err := an.ImpactRegion(*m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("point %v: coverage %d, in m=%d region: %v\n",
+			p, an.Coverage(p), *m, reg.Contains(p))
+	case "coverage":
+		p := parsePoint(*point, an.Dim())
+		fmt.Printf("point %v covers %d of %d users\n", p, an.Coverage(p), an.NumUsers())
+	case "co":
+		pl, err := an.CostOptimal(*m, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cheapest product covering >=%d users (%s cost):\n", *m, cost.Name())
+		fmt.Printf("  point %v\n  cost %.4f, coverage %d\n", fmtVec(pl.Point), pl.Cost, pl.Coverage)
+	case "improve":
+		up, err := mir.Improve(products, users, *target, *budget, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("best upgrade of product %d within budget %.3f:\n", *target, *budget)
+		fmt.Printf("  from %v\n  to   %v\n  coverage %d -> %d (cost %.4f)\n",
+			fmtVec(products[*target]), fmtVec(up.Point), up.BaseCoverage, up.Coverage, up.Cost)
+	case "budgeted-co":
+		pl, err := an.BudgetedCostOptimal(*budget, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("max-coverage product within budget %.3f:\n  point %v\n  coverage %d (cost %.4f)\n",
+			*budget, fmtVec(pl.Point), pl.Coverage, pl.Cost)
+	case "cheapest-upgrade":
+		up, err := mir.CheapestUpgrade(products, users, *target, *m, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cheapest upgrade of product %d reaching %d users:\n  to %v\n  cost %.4f (coverage %d)\n",
+			*target, *m, fmtVec(up.Point), up.Cost, up.Coverage)
+	case "stats":
+		num, avg := an.Groups()
+		fmt.Printf("user groups: %d (avg %.1f users per group)\n", num, avg)
+	default:
+		log.Fatalf("unknown query %q", *query)
+	}
+}
+
+func loadData(pFile, uFile, genP, genU string, n, u, d, k int, seed int64) ([][]float64, []mir.User) {
+	if (pFile == "") != (uFile == "") {
+		log.Fatal("provide both -products and -users, or neither")
+	}
+	if pFile != "" {
+		products, err := mir.LoadProductsCSV(pFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		users, err := mir.LoadUsersCSV(uFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return products, users
+	}
+	var pd mir.ProductDist
+	switch strings.ToUpper(genP) {
+	case "COR":
+		pd = mir.Correlated
+	case "ANTI":
+		pd = mir.AntiCorrelated
+	default:
+		pd = mir.Independent
+	}
+	ud := mir.Clustered
+	if strings.EqualFold(genU, "UN") {
+		ud = mir.Uniform
+	}
+	return mir.SynthProducts(pd, n, d, seed), mir.SynthUsers(ud, u, d, k, seed+1)
+}
+
+func parsePoint(s string, d int) []float64 {
+	if s == "" {
+		log.Fatal("-point required for this query")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != d {
+		log.Fatalf("point has %d coordinates, dataset has %d attributes", len(parts), d)
+	}
+	p := make([]float64, d)
+	for i, part := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad coordinate %q: %v", part, err)
+		}
+		p[i] = x
+	}
+	return p
+}
+
+func fmtVec(v []float64) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4f", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

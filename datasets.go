@@ -1,0 +1,182 @@
+package mir
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mir/internal/data"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// ProductDist selects a synthetic product distribution (the standard
+// benchmark families of the multi-criteria literature).
+type ProductDist int
+
+const (
+	// Independent: i.i.d. uniform attributes (IND).
+	Independent ProductDist = iota
+	// Correlated: attributes positively correlated (COR).
+	Correlated
+	// AntiCorrelated: attributes trade off against each other (ANTI).
+	AntiCorrelated
+)
+
+// UserDist selects a synthetic preference distribution.
+type UserDist int
+
+const (
+	// Clustered: five Gaussian preference clusters (CL, the paper's
+	// default user workload).
+	Clustered UserDist = iota
+	// Uniform: weights uniform on the simplex (UN).
+	Uniform
+)
+
+// SynthProducts generates n synthetic products with d attributes in
+// [0,1], reproducibly from the seed.
+func SynthProducts(dist ProductDist, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var ps []geom.Vector
+	switch dist {
+	case Correlated:
+		ps = data.Correlated(rng, n, d)
+	case AntiCorrelated:
+		ps = data.AntiCorrelated(rng, n, d)
+	default:
+		ps = data.Independent(rng, n, d)
+	}
+	return toFloats(ps)
+}
+
+// SynthUsers generates n synthetic users with d-dimensional simplex
+// weights and the given k, reproducibly from the seed.
+func SynthUsers(dist UserDist, n, d, k int, seed int64) []User {
+	rng := rand.New(rand.NewSource(seed))
+	var ws []geom.Vector
+	switch dist {
+	case Uniform:
+		ws = data.UniformUsers(rng, n, d)
+	default:
+		ws = data.ClusteredUsers(rng, n, d, 5, 0.05)
+	}
+	us := make([]User, n)
+	for i, w := range ws {
+		us[i] = User{Weights: w, K: k}
+	}
+	return us
+}
+
+// TripAdvisorLike generates a hotel-market dataset modeled on the paper's
+// TripAdvisor case study: nHotels hotels rated on seven aspects (value,
+// room, location, cleanliness, front desk, service, business service) and
+// nUsers preference vectors with the skewed, archetype-clustered shape of
+// weights mined from review text. See DESIGN.md for how this stands in
+// for the original (non-redistributable) dataset.
+func TripAdvisorLike(nHotels, nUsers, k int, seed int64) ([][]float64, []User) {
+	rng := rand.New(rand.NewSource(seed))
+	ps, ws := data.TripAdvisor(rng, nHotels, nUsers)
+	return toFloats(ps), withK(ws, k)
+}
+
+// TripAdvisorAspects names the seven rating aspects, in attribute order.
+func TripAdvisorAspects() []string {
+	return []string{"value", "room", "location", "cleanliness", "front desk", "service", "business service"}
+}
+
+// TripAdvisorLikePair generates the TA-like dataset restricted to two
+// chosen aspects (by index into TripAdvisorAspects), with user weights
+// renormalized — the construction behind the paper's Figure 7 case study.
+func TripAdvisorLikePair(nHotels, nUsers, k int, aspectA, aspectB int, seed int64) ([][]float64, []User, error) {
+	if aspectA < 0 || aspectA >= data.TripAdvisorDims || aspectB < 0 || aspectB >= data.TripAdvisorDims || aspectA == aspectB {
+		return nil, nil, fmt.Errorf("mir: invalid aspect pair (%d, %d)", aspectA, aspectB)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ps, ws := data.TripAdvisorProjected(rng, nHotels, nUsers, []int{aspectA, aspectB})
+	return toFloats(ps), withK(ws, k), nil
+}
+
+func toFloats(vs []geom.Vector) [][]float64 {
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+func withK(ws []geom.Vector, k int) []User {
+	us := make([]User, len(ws))
+	for i, w := range ws {
+		us[i] = User{Weights: w, K: k}
+	}
+	return us
+}
+
+// LoadProductsCSV reads a product catalog from a CSV file: one product
+// per row, one attribute per column, values in [0,1].
+func LoadProductsCSV(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mir: %w", err)
+	}
+	defer f.Close()
+	vs, err := data.ReadVectors(f)
+	if err != nil {
+		return nil, fmt.Errorf("mir: %w", err)
+	}
+	return toFloats(vs), nil
+}
+
+// LoadUsersCSV reads a user population from a CSV file: one user per row,
+// the first column the user's k, the remaining columns simplex weights.
+func LoadUsersCSV(path string) ([]User, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mir: %w", err)
+	}
+	defer f.Close()
+	prefs, err := data.ReadUsers(f)
+	if err != nil {
+		return nil, fmt.Errorf("mir: %w", err)
+	}
+	us := make([]User, len(prefs))
+	for i, p := range prefs {
+		us[i] = User{Weights: p.W, K: p.K}
+	}
+	return us, nil
+}
+
+// SaveProductsCSV writes a product catalog to a CSV file.
+func SaveProductsCSV(path string, products [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mir: %w", err)
+	}
+	defer f.Close()
+	vs := make([]geom.Vector, len(products))
+	for i, p := range products {
+		vs[i] = geom.Vector(p)
+	}
+	if err := data.WriteVectors(f, vs); err != nil {
+		return fmt.Errorf("mir: %w", err)
+	}
+	return nil
+}
+
+// SaveUsersCSV writes a user population to a CSV file.
+func SaveUsersCSV(path string, users []User) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mir: %w", err)
+	}
+	defer f.Close()
+	prefs := make([]topk.UserPref, len(users))
+	for i, u := range users {
+		prefs[i] = topk.UserPref{W: geom.Vector(u.Weights), K: u.K}
+	}
+	if err := data.WriteUsers(f, prefs); err != nil {
+		return fmt.Errorf("mir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package mir
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSynthGenerators(t *testing.T) {
+	for _, pd := range []ProductDist{Independent, Correlated, AntiCorrelated} {
+		ps := SynthProducts(pd, 200, 3, 7)
+		if len(ps) != 200 {
+			t.Fatalf("dist %d: got %d products", pd, len(ps))
+		}
+		for _, p := range ps {
+			if len(p) != 3 {
+				t.Fatal("wrong dimensionality")
+			}
+			for _, x := range p {
+				if x < 0 || x > 1 {
+					t.Fatalf("attribute %g out of range", x)
+				}
+			}
+		}
+		// Determinism by seed.
+		again := SynthProducts(pd, 200, 3, 7)
+		for i := range ps {
+			for j := range ps[i] {
+				if ps[i][j] != again[i][j] {
+					t.Fatal("generation not deterministic")
+				}
+			}
+		}
+	}
+	for _, ud := range []UserDist{Clustered, Uniform} {
+		us := SynthUsers(ud, 100, 4, 6, 9)
+		if len(us) != 100 {
+			t.Fatalf("user dist %d: got %d", ud, len(us))
+		}
+		for _, u := range us {
+			if u.K != 6 || len(u.Weights) != 4 {
+				t.Fatal("user shape wrong")
+			}
+			s := 0.0
+			for _, w := range u.Weights {
+				if w < 0 {
+					t.Fatal("negative weight")
+				}
+				s += w
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("weights sum to %g", s)
+			}
+		}
+	}
+}
+
+func TestTripAdvisorLikeAPI(t *testing.T) {
+	ps, us := TripAdvisorLike(120, 300, 10, 5)
+	if len(ps) != 120 || len(us) != 300 {
+		t.Fatalf("cardinalities %d/%d", len(ps), len(us))
+	}
+	if len(ps[0]) != 7 || len(us[0].Weights) != 7 {
+		t.Fatal("TA data must have 7 aspects")
+	}
+	if len(TripAdvisorAspects()) != 7 {
+		t.Fatal("aspect list wrong")
+	}
+
+	p2, u2, err := TripAdvisorLikePair(80, 100, 5, 1, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2[0]) != 2 || len(u2[0].Weights) != 2 {
+		t.Fatal("pair projection wrong")
+	}
+	if _, _, err := TripAdvisorLikePair(80, 100, 5, 3, 3, 5); err == nil {
+		t.Error("identical aspects accepted")
+	}
+	if _, _, err := TripAdvisorLikePair(80, 100, 5, -1, 2, 5); err == nil {
+		t.Error("negative aspect accepted")
+	}
+	if _, _, err := TripAdvisorLikePair(80, 100, 5, 0, 9, 5); err == nil {
+		t.Error("out-of-range aspect accepted")
+	}
+}
+
+func TestCSVRoundTripAPI(t *testing.T) {
+	dir := t.TempDir()
+	pPath := filepath.Join(dir, "p.csv")
+	uPath := filepath.Join(dir, "u.csv")
+
+	ps := SynthProducts(Independent, 40, 3, 1)
+	us := SynthUsers(Clustered, 25, 3, 4, 2)
+	if err := SaveProductsCSV(pPath, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveUsersCSV(uPath, us); err != nil {
+		t.Fatal(err)
+	}
+	psBack, err := LoadProductsCSV(pPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usBack, err := LoadUsersCSV(uPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psBack) != len(ps) || len(usBack) != len(us) {
+		t.Fatal("round trip lost rows")
+	}
+	for i := range ps {
+		for j := range ps[i] {
+			if ps[i][j] != psBack[i][j] {
+				t.Fatal("product value changed in round trip")
+			}
+		}
+	}
+	for i := range us {
+		if us[i].K != usBack[i].K {
+			t.Fatal("user k changed in round trip")
+		}
+		for j := range us[i].Weights {
+			if us[i].Weights[j] != usBack[i].Weights[j] {
+				t.Fatal("user weight changed in round trip")
+			}
+		}
+	}
+
+	if _, err := LoadProductsCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := LoadUsersCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing users file accepted")
+	}
+	if err := os.WriteFile(pPath, []byte("a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProductsCSV(pPath); err == nil {
+		t.Error("malformed CSV accepted")
+	}
+}
+
+func TestCostModelNamesAndEval(t *testing.T) {
+	if L2().Name() != "L2" || L1().Name() != "L1" {
+		t.Error("cost names wrong")
+	}
+	w, err := WeightedL2([]float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "weighted-L2" {
+		t.Error("weighted name wrong")
+	}
+	if got := L1().Eval([]float64{0.3, 0.4}); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("L1 eval = %g", got)
+	}
+	if got := L2().Eval([]float64{0.3, 0.4}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("L2 eval = %g", got)
+	}
+	if got := w.Eval([]float64{0.3, 0.4}); math.Abs(got-0.5*math.Sqrt2) > 1e-9 {
+		t.Errorf("weighted eval = %g", got)
+	}
+}
+
+func TestCostOptimalFastAPI(t *testing.T) {
+	ps := SynthProducts(Independent, 300, 3, 11)
+	us := SynthUsers(Clustered, 20, 3, 5, 12)
+	a, err := NewAnalyzer(ps, us, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := a.CostOptimalFast(10, L2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := a.CostOptimal(10, L2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.Cost-slow.Cost) > 1e-5 {
+		t.Errorf("fast %g vs slow %g", fast.Cost, slow.Cost)
+	}
+	if fast.Coverage < 10 {
+		t.Errorf("coverage %d < 10", fast.Coverage)
+	}
+	if _, err := a.CostOptimalFast(0, L2()); err == nil {
+		t.Error("m=0 accepted")
+	}
+}

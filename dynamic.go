@@ -1,0 +1,78 @@
+package mir
+
+import (
+	"fmt"
+
+	"mir/internal/core"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// Monitor keeps an m-impact region continuously up to date while users
+// arrive and depart — the dynamic-population scenario the paper sketches
+// as future work (e.g. "users currently online" for real-time
+// advertising). Rather than recomputing on every change, it retains the
+// computed arrangement and re-examines only the cells whose decision the
+// change can affect.
+//
+// A Monitor is not safe for concurrent use.
+type Monitor struct {
+	mt  *core.Maintainer
+	dim int
+}
+
+// NewMonitor computes the initial m-impact region for the product catalog
+// and user population and prepares for incremental updates.
+func NewMonitor(products [][]float64, users []User, m int) (*Monitor, error) {
+	ps := make([]geom.Vector, len(products))
+	for i, p := range products {
+		ps[i] = geom.Vector(p)
+	}
+	us := make([]topk.UserPref, len(users))
+	for i, u := range users {
+		us[i] = topk.UserPref{W: geom.Vector(u.Weights), K: u.K}
+	}
+	inst, err := core.NewInstance(ps, us)
+	if err != nil {
+		return nil, fmt.Errorf("mir: %w", err)
+	}
+	if err := inst.CheckM(m); err != nil {
+		return nil, fmt.Errorf("mir: %w", err)
+	}
+	mt, err := core.NewMaintainer(inst, m, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("mir: %w", err)
+	}
+	return &Monitor{mt: mt, dim: inst.Dim}, nil
+}
+
+// Region returns the current m-impact region.
+func (mo *Monitor) Region() *Region { return newRegion(mo.mt.Region()) }
+
+// NumUsers returns the current population size.
+func (mo *Monitor) NumUsers() int { return mo.mt.NumUsers() }
+
+// Coverage returns how many current users a product at the given point
+// would cover.
+func (mo *Monitor) Coverage(point []float64) int {
+	return mo.mt.CountCovering(geom.Vector(point))
+}
+
+// UserArrived registers a new user and updates the region. The returned
+// handle identifies the user for a later UserDeparted call.
+func (mo *Monitor) UserArrived(u User) (handle int, err error) {
+	h, err := mo.mt.AddUser(topk.UserPref{W: geom.Vector(u.Weights), K: u.K})
+	if err != nil {
+		return 0, fmt.Errorf("mir: %w", err)
+	}
+	return h, nil
+}
+
+// UserDeparted retires a user previously registered (initial users carry
+// handles 0..len(users)-1 in input order) and updates the region.
+func (mo *Monitor) UserDeparted(handle int) error {
+	if err := mo.mt.RemoveUser(handle); err != nil {
+		return fmt.Errorf("mir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package mir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMonitorLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps, us := fixture(rng, 200, 12, 3, 5)
+	const m = 6
+	mo, err := NewMonitor(ps, us, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo.NumUsers() != 12 {
+		t.Fatalf("NumUsers = %d", mo.NumUsers())
+	}
+
+	verify := func() {
+		t.Helper()
+		reg := mo.Region()
+		for probe := 0; probe < 600; probe++ {
+			p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			cov := mo.Coverage(p)
+			if cov == m || cov == m-1 {
+				continue // skip near-threshold points
+			}
+			if (cov >= m) != reg.Contains(p) {
+				t.Fatalf("monitor contract violated at %v: coverage %d, contains %v",
+					p, cov, reg.Contains(p))
+			}
+		}
+	}
+	verify()
+
+	// Arrivals.
+	var handles []int
+	for i := 0; i < 4; i++ {
+		_, newbies := fixture(rng, 1, 1, 3, 3)
+		h, err := mo.UserArrived(newbies[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		verify()
+	}
+	if mo.NumUsers() != 16 {
+		t.Fatalf("NumUsers after arrivals = %d", mo.NumUsers())
+	}
+
+	// Departures: two originals, two newcomers.
+	for _, h := range []int{0, 5, handles[0], handles[2]} {
+		if err := mo.UserDeparted(h); err != nil {
+			t.Fatal(err)
+		}
+		verify()
+	}
+	if mo.NumUsers() != 12 {
+		t.Fatalf("NumUsers after departures = %d", mo.NumUsers())
+	}
+
+	// Error paths.
+	if err := mo.UserDeparted(0); err == nil {
+		t.Error("double departure accepted")
+	}
+	if _, err := mo.UserArrived(User{Weights: []float64{1}, K: 1}); err == nil {
+		t.Error("wrong-dimension arrival accepted")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps, us := fixture(rng, 50, 6, 2, 3)
+	if _, err := NewMonitor(ps, us, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewMonitor(ps, us, 7); err == nil {
+		t.Error("m>|U| accepted")
+	}
+	if _, err := NewMonitor(nil, us, 3); err == nil {
+		t.Error("empty products accepted")
+	}
+}
+
+func TestReverseTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps, us := fixture(rng, 150, 15, 3, 5)
+	a, err := NewAnalyzer(ps, us, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for pi := range ps {
+		rset, err := a.ReverseTopK(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(rset)
+		// Cross-check against coverage counting.
+		if got := a.Coverage(ps[pi]); got != len(rset) {
+			t.Fatalf("product %d: reverse top-k %d vs coverage %d", pi, len(rset), got)
+		}
+	}
+	// Each user contributes exactly k entries across all reverse top-k
+	// sets (her top-k products), so the grand total is |U| * k.
+	if want := 15 * 5; total != want {
+		t.Errorf("sum of reverse top-k sizes = %d, want %d", total, want)
+	}
+	if _, err := a.ReverseTopK(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := a.ReverseTopK(999); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestMostInfluential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps, us := fixture(rng, 120, 20, 3, 5)
+	a, err := NewAnalyzer(ps, us, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := a.MostInfluential(5)
+	if len(top) != 5 {
+		t.Fatalf("got %d results", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Coverage > top[i-1].Coverage {
+			t.Error("results not sorted by coverage")
+		}
+	}
+	// The most influential product's coverage must match a direct count.
+	if got := a.Coverage(ps[top[0].ProductIndex]); got != top[0].Coverage {
+		t.Errorf("coverage mismatch: %d vs %d", got, top[0].Coverage)
+	}
+	// No other product may beat the reported leader.
+	for pi := range ps {
+		if a.Coverage(ps[pi]) > top[0].Coverage {
+			t.Fatalf("product %d beats the reported most influential", pi)
+		}
+	}
+	if got := a.MostInfluential(0); got != nil {
+		t.Error("n=0 should return nil")
+	}
+	if got := a.MostInfluential(10_000); len(got) != 120 {
+		t.Errorf("n beyond |P| should clamp, got %d", len(got))
+	}
+}

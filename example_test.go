@@ -1,0 +1,100 @@
+package mir_test
+
+import (
+	"fmt"
+
+	"mir"
+)
+
+// The market of the package examples: products rated on (value, service).
+func exampleMarket() ([][]float64, []mir.User) {
+	products := [][]float64{
+		{0.20, 0.80},
+		{0.45, 0.70},
+		{0.60, 0.60},
+		{0.80, 0.40},
+		{0.90, 0.15},
+	}
+	users := []mir.User{
+		{Weights: []float64{0.2, 0.8}, K: 1},
+		{Weights: []float64{0.5, 0.5}, K: 2},
+		{Weights: []float64{0.8, 0.2}, K: 1},
+	}
+	return products, users
+}
+
+func ExampleImpactRegion() {
+	products, users := exampleMarket()
+	region, err := mir.ImpactRegion(products, users, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("top corner in region:", region.Contains([]float64{1, 1}))
+	fmt.Println("origin in region:", region.Contains([]float64{0, 0}))
+	// Output:
+	// top corner in region: true
+	// origin in region: false
+}
+
+func ExampleAnalyzer_Coverage() {
+	products, users := exampleMarket()
+	an, err := mir.NewAnalyzer(products, users, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(an.Coverage([]float64{1, 1}), "of", an.NumUsers())
+	// Output:
+	// 3 of 3
+}
+
+func ExampleAnalyzer_CostOptimal() {
+	products, users := exampleMarket()
+	an, err := mir.NewAnalyzer(products, users, nil)
+	if err != nil {
+		panic(err)
+	}
+	placement, err := an.CostOptimal(2, mir.L2())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("covers:", placement.Coverage)
+	fmt.Println("cheaper than the perfect product:", placement.Cost < mir.L2().Eval([]float64{1, 1}))
+	// Output:
+	// covers: 2
+	// cheaper than the perfect product: true
+}
+
+func ExampleImprove() {
+	products, users := exampleMarket()
+	up, err := mir.Improve(products, users, 4, 0.5, mir.L2())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("coverage gained:", up.Coverage >= up.BaseCoverage)
+	fmt.Println("within budget:", up.Cost <= 0.5+1e-9)
+	// Output:
+	// coverage gained: true
+	// within budget: true
+}
+
+func ExampleMonitor() {
+	products, users := exampleMarket()
+	mo, err := mir.NewMonitor(products, users, 2)
+	if err != nil {
+		panic(err)
+	}
+	// A fourth user comes online.
+	handle, err := mo.UserArrived(mir.User{Weights: []float64{0.3, 0.7}, K: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("online:", mo.NumUsers())
+	// ... and leaves again.
+	if err := mo.UserDeparted(handle); err != nil {
+		panic(err)
+	}
+	fmt.Println("online:", mo.NumUsers())
+	// Output:
+	// online: 4
+	// online: 3
+}

@@ -1,0 +1,81 @@
+// Command quickstart walks through the core mir API on a small
+// two-dimensional market, mirroring the worked example of the paper's
+// Figure 1: a handful of products, a handful of users with personal top-k
+// sizes, and the m-impact region that results.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mir"
+)
+
+func main() {
+	// A toy market: products rated on (value, service), higher is better.
+	products := [][]float64{
+		{0.20, 0.80}, // boutique: great service, pricey
+		{0.45, 0.70},
+		{0.60, 0.60}, // balanced mid-market
+		{0.80, 0.40},
+		{0.90, 0.15}, // budget champion
+		{0.30, 0.30}, // dominated straggler
+		{0.55, 0.35},
+	}
+	// Four users with different value/service trade-offs and personal k.
+	users := []mir.User{
+		{Weights: []float64{0.2, 0.8}, K: 1}, // service seeker
+		{Weights: []float64{0.4, 0.6}, K: 2},
+		{Weights: []float64{0.6, 0.4}, K: 2},
+		{Weights: []float64{0.8, 0.2}, K: 1}, // bargain hunter
+	}
+
+	const m = 3 // want to be in the top-k of at least 3 of the 4 users
+
+	region, err := mir.ImpactRegion(products, users, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("m-impact region for m=%d:\n", m)
+	fmt.Printf("  cells: %d   area: %.4f of the product space\n",
+		region.NumCells(), region.Area())
+
+	// Probe a few hypothetical products.
+	an, err := mir.NewAnalyzer(products, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probes := [][]float64{
+		{0.95, 0.95}, // near-perfect product
+		{0.70, 0.70},
+		{0.50, 0.50},
+		{0.20, 0.20}, // weak product
+	}
+	fmt.Println("\nhypothetical placements:")
+	for _, p := range probes {
+		fmt.Printf("  value=%.2f service=%.2f -> covers %d users, in region: %v\n",
+			p[0], p[1], an.Coverage(p), region.Contains(p))
+	}
+
+	// Where is the cheapest position that still covers m users?
+	placement, err := an.CostOptimal(m, mir.L2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncheapest influential product (CO, L2 cost):\n")
+	fmt.Printf("  value=%.3f service=%.3f  cost=%.3f  covers %d users\n",
+		placement.Point[0], placement.Point[1], placement.Cost, placement.Coverage)
+
+	// Inspect the region's convex cells.
+	fmt.Println("\nregion cells (bounding boxes):")
+	for i, cell := range region.Cells() {
+		lo, hi := cell.BoundingBox()
+		fmt.Printf("  cell %d: value [%.2f, %.2f] x service [%.2f, %.2f]\n",
+			i, lo[0], hi[0], lo[1], hi[1])
+	}
+}

@@ -1,0 +1,106 @@
+// Command upgrade demonstrates the improvement-strategies problems on a
+// hotel-renovation scenario: a hotel manager with a renovation budget
+// asks which aspects to improve to appear in as many travellers' top-k
+// shortlists as possible (IS), and what the cheapest renovation reaching
+// a fixed popularity target would be (thresholded IS).
+//
+// Run with:
+//
+//	go run ./examples/upgrade [-hotels 300] [-users 150] [-budget 0.3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"mir"
+)
+
+func main() {
+	nHotels := flag.Int("hotels", 300, "hotels on the market")
+	nUsers := flag.Int("users", 150, "traveller population")
+	k := flag.Int("k", 10, "shortlist size")
+	budget := flag.Float64("budget", 0.3, "renovation budget (L2 units)")
+	target := flag.Int("target", 0, "coverage target for the cheapest-upgrade query (default: users/3)")
+	seed := flag.Int64("seed", 11, "dataset seed")
+	flag.Parse()
+
+	// A 3-aspect market (e.g. value, rooms, service) so the trade-offs are
+	// easy to read.
+	hotels := mir.SynthProducts(mir.Independent, *nHotels, 3, *seed)
+	users := mir.SynthUsers(mir.Clustered, *nUsers, 3, *k, *seed+1)
+	if *target == 0 {
+		*target = *nUsers / 3
+	}
+
+	// Pick a struggling hotel: the one with the lowest current coverage
+	// among a sample.
+	an, err := mir.NewAnalyzer(hotels, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type cand struct{ idx, cov int }
+	cands := make([]cand, 0, 50)
+	for i := 0; i < 50; i++ {
+		cands = append(cands, cand{i, an.Coverage(hotels[i])})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].cov < cands[b].cov })
+	h := cands[0].idx
+	fmt.Printf("struggling hotel #%d at %s currently shortlisted by ~%d of %d travellers\n\n",
+		h, fmtVec(hotels[h]), cands[0].cov, *nUsers)
+
+	// IS: best renovation within budget.
+	up, err := mir.Improve(hotels, users, h, *budget, mir.L2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best renovation within budget %.2f:\n", *budget)
+	fmt.Printf("  move to %s (spend %.3f)\n", fmtVec(up.Point), up.Cost)
+	fmt.Printf("  shortlists: %d -> %d travellers\n\n", up.BaseCoverage, up.Coverage)
+	printDelta(hotels[h], up.Point)
+
+	// Budget sweep: diminishing returns become visible.
+	fmt.Println("\ncoverage reachable by renovation budget:")
+	for _, b := range []float64{0.1, 0.2, 0.4, 0.8} {
+		u, err := mir.Improve(hotels, users, h, b, mir.L2())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  budget %.1f -> %3d travellers (spend %.3f)\n", b, u.Coverage, u.Cost)
+	}
+
+	// Thresholded IS: cheapest way to a popularity target.
+	cheap, err := mir.CheapestUpgrade(hotels, users, h, *target, mir.L2())
+	if err != nil {
+		fmt.Printf("\nno renovation reaches %d travellers: %v\n", *target, err)
+		return
+	}
+	fmt.Printf("\ncheapest renovation reaching %d travellers: spend %.3f to move to %s (covers %d)\n",
+		*target, cheap.Cost, fmtVec(cheap.Point), cheap.Coverage)
+}
+
+func printDelta(from, to []float64) {
+	aspects := []string{"value", "rooms", "service"}
+	fmt.Println("  per-aspect plan:")
+	for i := range from {
+		d := to[i] - from[i]
+		bar := ""
+		for j := 0; j < int(d*40); j++ {
+			bar += "+"
+		}
+		fmt.Printf("    %-8s %.3f -> %.3f  %s\n", aspects[i], from[i], to[i], bar)
+	}
+}
+
+func fmtVec(v []float64) string {
+	s := "("
+	for i, x := range v {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.3f", x)
+	}
+	return s + ")"
+}

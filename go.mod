@@ -1,0 +1,3 @@
+module mir
+
+go 1.22

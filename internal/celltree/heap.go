@@ -1,0 +1,59 @@
+package celltree
+
+// Heap is a binary min-heap of cells keyed by a float priority fixed at
+// push time. AA uses it to always process the cell closest to being
+// reported or eliminated (Section 5.3); the IS adaptation reuses it with a
+// negated key to prioritize high-coverage cells.
+type Heap struct {
+	items []heapItem
+}
+
+type heapItem struct {
+	c   *Cell
+	pri float64
+}
+
+// Len returns the number of queued cells.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Push enqueues c with the given priority (smaller pops first).
+func (h *Heap) Push(c *Cell, pri float64) {
+	h.items = append(h.items, heapItem{c, pri})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].pri <= h.items[i].pri {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+// Pop removes and returns the minimum-priority cell; nil when empty.
+func (h *Heap) Pop() *Cell {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0].c
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.items[l].pri < h.items[small].pri {
+			small = l
+		}
+		if r < last && h.items[r].pri < h.items[small].pri {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,413 @@
+// Package celltree maintains the halfspace-arrangement cell tree used by
+// the mIR algorithms (the "cell-tree" of Tang et al. [52], adopted by the
+// paper's BSL and AA).
+//
+// The tree is binary: the root covers the whole product-space box, and
+// each internal node records the halfspace whose boundary split it. A
+// leaf's region is implicitly the intersection of the box with one
+// (possibly flipped) halfspace per ancestor. Leaves carry the running
+// counts of influential halfspaces known to cover (InCount) or exclude
+// (OutCount) them, a cached minimum bounding box that powers the paper's
+// filter-and-refine fast tests (Section 5.3), and an algorithm-specific
+// payload (AA stores its individualized pending-group list there).
+package celltree
+
+import (
+	"mir/internal/geom"
+)
+
+// Status is a leaf's lifecycle state.
+type Status uint8
+
+const (
+	// Active leaves may still be split, reported, or eliminated.
+	Active Status = iota
+	// Reported leaves are part of the mIR result R.
+	Reported
+	// Eliminated leaves can no longer reach the coverage threshold.
+	Eliminated
+)
+
+// String returns a readable status name.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Reported:
+		return "reported"
+	case Eliminated:
+		return "eliminated"
+	default:
+		return "invalid"
+	}
+}
+
+// Cell is a node of the arrangement tree. Leaves correspond to current
+// arrangement cells; internal nodes record past splits.
+type Cell struct {
+	ID     int
+	Depth  int
+	Status Status
+
+	// InCount users are known to cover the entire cell; OutCount users are
+	// known to exclude it. Undecided users are tracked by the algorithm's
+	// payload.
+	InCount  int
+	OutCount int
+
+	// MBBLo/MBBHi cache the cell's minimum bounding box.
+	MBBLo, MBBHi geom.Vector
+
+	// Empty marks a split child whose region degenerated (borderline
+	// numerics); such cells carry no geometry and are never revived.
+	Empty bool
+
+	// Payload carries algorithm state (e.g. AA's pending group views).
+	Payload any
+
+	parent        *Cell
+	left, right   *Cell
+	split         geom.Halfspace
+	owner         *Tree
+	reportedExtra []geom.Halfspace // extra constraints recorded at report time (2-D fast path)
+	poly          *geom.Polytope   // lazily built H-rep, cached (cells are classified many times)
+}
+
+// Parent returns the parent node (nil at the root).
+func (c *Cell) Parent() *Cell { return c.parent }
+
+// Children returns the outside (left) and inside (right) children of an
+// internal node; both nil for leaves.
+func (c *Cell) Children() (left, right *Cell) { return c.left, c.right }
+
+// IsLeaf reports whether c has not been split.
+func (c *Cell) IsLeaf() bool { return c.left == nil }
+
+// Split returns the halfspace that divided this internal node.
+func (c *Cell) Split() geom.Halfspace { return c.split }
+
+// Tree is the arrangement over a box-shaped product space.
+type Tree struct {
+	Root *Cell
+	Dim  int
+	Box  *geom.Polytope
+
+	Stats  Stats
+	nextID int
+}
+
+// Stats aggregates arrangement counters; the paper's Figures 12b and 16
+// report these.
+type Stats struct {
+	CellsCreated     int // leaves ever created (root included)
+	Splits           int
+	ContainmentTests int // LP-backed classifications
+	FastTests        int // MBB filter tests
+	FastHits         int // fast tests that were conclusive
+	Reported         int
+	Eliminated       int
+	MaxDepth         int
+}
+
+// New creates a tree over the given box polytope (normally [0,1]^d or, for
+// IS-style problems, [p, 1]^d).
+func New(box *geom.Polytope) *Tree {
+	lo, hi, ok := box.MBB()
+	t := &Tree{Dim: box.Dim, Box: box}
+	root := &Cell{ID: 0, MBBLo: lo, MBBHi: hi}
+	if !ok {
+		root.Status = Eliminated // empty search space
+	}
+	root.owner = t
+	t.Root = root
+	t.nextID = 1
+	t.Stats.CellsCreated = 1
+	return t
+}
+
+// Polytope returns the H-representation of the cell: the box plus one
+// oriented halfspace per ancestor split, plus any constraints recorded at
+// report time. The representation is built once (reusing the parent's
+// cached representation) and cached; cells are classified against many
+// halfspaces over their lifetime.
+func (c *Cell) Polytope() *geom.Polytope {
+	if c.poly != nil && len(c.reportedExtra) == 0 {
+		return c.poly
+	}
+	tr := c.owner
+	var base []geom.Halfspace
+	if c.parent == nil {
+		base = tr.Box.Hs
+	} else {
+		h := c.parent.split
+		if c == c.parent.left {
+			h = h.Flip()
+		}
+		ph := c.parent.Polytope().Hs
+		base = make([]geom.Halfspace, 0, len(ph)+1)
+		base = append(base, ph...)
+		base = append(base, h)
+	}
+	if c.poly == nil {
+		c.poly = &geom.Polytope{Dim: tr.Dim, Hs: base}
+	}
+	if len(c.reportedExtra) == 0 {
+		return c.poly
+	}
+	hs := make([]geom.Halfspace, 0, len(c.poly.Hs)+len(c.reportedExtra))
+	hs = append(hs, c.poly.Hs...)
+	hs = append(hs, c.reportedExtra...)
+	return &geom.Polytope{Dim: tr.Dim, Hs: hs}
+}
+
+// AddReportConstraint attaches an extra halfspace to the reported cell's
+// geometry without splitting the tree. The 2-D specialized insertion uses
+// this to report (H_m ∪ H_{t-m+1}) ∩ c as two constrained copies.
+func (c *Cell) AddReportConstraint(h geom.Halfspace) { //nolint:unused
+	c.reportedExtra = append(c.reportedExtra, h)
+}
+
+// FastClassify runs the MBB-based filter test of Section 5.3. conclusive
+// is false when the bounding box cannot decide the relation; callers then
+// refine with an LP classification. The test is exact for Covers/Excludes
+// answers it does give.
+func (c *Cell) FastClassify(h geom.Halfspace) (rel geom.Relation, conclusive bool) {
+	c.owner.Stats.FastTests++
+	lo, hi := 0.0, 0.0
+	for j, w := range h.W {
+		if w >= 0 {
+			lo += w * c.MBBLo[j]
+			hi += w * c.MBBHi[j]
+		} else {
+			lo += w * c.MBBHi[j]
+			hi += w * c.MBBLo[j]
+		}
+	}
+	if lo >= h.T-geom.ClassifyTol {
+		c.owner.Stats.FastHits++
+		return geom.Covers, true
+	}
+	if hi <= h.T+geom.ClassifyTol {
+		c.owner.Stats.FastHits++
+		return geom.Excludes, true
+	}
+	return geom.Cuts, false
+}
+
+// Classify determines the cell-halfspace relation, using the fast MBB test
+// first when useFast is set, then falling back to LP containment tests.
+func (c *Cell) Classify(h geom.Halfspace, useFast bool) geom.Relation {
+	if useFast {
+		if rel, ok := c.FastClassify(h); ok {
+			return rel
+		}
+	}
+	c.owner.Stats.ContainmentTests++
+	return c.Polytope().Classify(h)
+}
+
+// SplitBy divides the leaf by h's boundary hyperplane. The right child is
+// the part inside h, the left child the part outside. Children inherit the
+// parent's counts and receive bounding boxes computed by analytically
+// clipping the parent's box against the split halfspace — an O(d²)
+// operation yielding a valid (possibly slightly loose) bounding box, which
+// is all the filter-and-refine fast tests require, at a fraction of the
+// cost of the 2d linear programs an exact box would take.
+//
+// Callers split only on halfspaces classified as Cuts, which certifies
+// both sides non-empty; a child whose clipped box nevertheless degenerates
+// (borderline numerics) is returned with Status Eliminated.
+func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
+	if !c.IsLeaf() {
+		panic("celltree: SplitBy on internal node")
+	}
+	c.split = h
+	mk := func() *Cell {
+		n := &Cell{
+			ID:       tr.nextID,
+			Depth:    c.Depth + 1,
+			InCount:  c.InCount,
+			OutCount: c.OutCount,
+			parent:   c,
+			owner:    tr,
+		}
+		tr.nextID++
+		return n
+	}
+	left = mk()
+	right = mk()
+	c.left, c.right = left, right
+	tr.Stats.Splits++
+	if c.Depth+1 > tr.Stats.MaxDepth {
+		tr.Stats.MaxDepth = c.Depth + 1
+	}
+	for _, ch := range []*Cell{left, right} {
+		hs := h
+		if ch == left {
+			hs = h.Flip()
+		}
+		lo, hi, ok := clipBox(c.MBBLo, c.MBBHi, hs)
+		if ok {
+			// Tighten by interval propagation over the cell's whole
+			// constraint path: each pass re-clips the box against every
+			// constraint, and a shrunken box can make earlier constraints
+			// bite again. Two passes capture most of the tightening at a
+			// fraction of the cost of exact (LP-based) bounds.
+			ch.MBBLo, ch.MBBHi = lo, hi
+			path := ch.Polytope().Hs
+			for pass := 0; pass < 2 && ok; pass++ {
+				for _, hp := range path {
+					if !clipBoxInPlace(lo, hi, hp) {
+						ok = false
+						break
+					}
+				}
+			}
+		}
+		if !ok {
+			ch.Status = Eliminated
+			ch.Empty = true
+			ch.MBBLo = c.MBBLo.Clone()
+			ch.MBBHi = c.MBBLo.Clone() // degenerate box
+			continue
+		}
+		ch.MBBLo, ch.MBBHi = lo, hi
+		tr.Stats.CellsCreated++
+	}
+	return left, right
+}
+
+// clipBoxInPlace tightens [lo, hi] against {x : W·x >= T} in place,
+// returning false when the halfspace misses the box entirely. Same
+// computation as clipBox without the allocations; used by the
+// interval-propagation passes, which run once per constraint per split.
+func clipBoxInPlace(lo, hi geom.Vector, h geom.Halfspace) bool {
+	sMax := 0.0
+	for j, w := range h.W {
+		if w >= 0 {
+			sMax += w * hi[j]
+		} else {
+			sMax += w * lo[j]
+		}
+	}
+	if sMax < h.T-geom.Eps {
+		return false
+	}
+	for j, w := range h.W {
+		if w > geom.Eps {
+			if bound := (h.T - (sMax - w*hi[j])) / w; bound > lo[j] {
+				lo[j] = bound
+			}
+		} else if w < -geom.Eps {
+			if bound := (h.T - (sMax - w*lo[j])) / w; bound < hi[j] {
+				hi[j] = bound
+			}
+		}
+		if lo[j] > hi[j]+geom.Eps {
+			return false
+		}
+		if lo[j] > hi[j] {
+			lo[j] = hi[j]
+		}
+	}
+	return true
+}
+
+// clipBox returns the exact bounding box of [lo, hi] ∩ {x : W·x >= T},
+// or ok=false when the intersection is empty. For each coordinate, the
+// extreme feasible value is found by setting the other coordinates to
+// their W-maximizing corner.
+func clipBox(lo, hi geom.Vector, h geom.Halfspace) (nlo, nhi geom.Vector, ok bool) {
+	// sMax = max of W·x over the box.
+	sMax := 0.0
+	for j, w := range h.W {
+		if w >= 0 {
+			sMax += w * hi[j]
+		} else {
+			sMax += w * lo[j]
+		}
+	}
+	if sMax < h.T-geom.Eps {
+		return nil, nil, false
+	}
+	nlo = lo.Clone()
+	nhi = hi.Clone()
+	for j, w := range h.W {
+		if w > geom.Eps {
+			// Others at their max: w_j x_j >= T - (sMax - w_j hi_j).
+			bound := (h.T - (sMax - w*hi[j])) / w
+			if bound > nlo[j] {
+				nlo[j] = bound
+			}
+		} else if w < -geom.Eps {
+			// w_j < 0: x_j <= (T - otherMax)/w_j with otherMax = sMax - w_j lo_j.
+			bound := (h.T - (sMax - w*lo[j])) / w
+			if bound < nhi[j] {
+				nhi[j] = bound
+			}
+		}
+		if nlo[j] > nhi[j]+geom.Eps {
+			return nil, nil, false
+		}
+		if nlo[j] > nhi[j] {
+			nlo[j] = nhi[j]
+		}
+	}
+	return nlo, nhi, true
+}
+
+// Report marks the leaf as part of the result region.
+func (tr *Tree) Report(c *Cell) {
+	if c.Status == Active {
+		c.Status = Reported
+		tr.Stats.Reported++
+	}
+}
+
+// Eliminate marks the leaf as unable to reach the coverage threshold.
+func (tr *Tree) Eliminate(c *Cell) {
+	if c.Status == Active {
+		c.Status = Eliminated
+		tr.Stats.Eliminated++
+	}
+}
+
+// Reactivate returns a decided leaf to the Active state. Incremental
+// maintenance uses it when a user-set update invalidates an earlier
+// report/elimination decision.
+func (tr *Tree) Reactivate(c *Cell) {
+	switch c.Status {
+	case Reported:
+		tr.Stats.Reported--
+	case Eliminated:
+		tr.Stats.Eliminated--
+	default:
+		return
+	}
+	c.Status = Active
+}
+
+// Leaves appends all leaves under c (or the whole tree when c is nil) to
+// dst and returns it.
+func (tr *Tree) Leaves(c *Cell, dst []*Cell) []*Cell {
+	if c == nil {
+		c = tr.Root
+	}
+	if c.IsLeaf() {
+		return append(dst, c)
+	}
+	dst = tr.Leaves(c.left, dst)
+	dst = tr.Leaves(c.right, dst)
+	return dst
+}
+
+// ReportedLeaves returns every leaf currently marked Reported.
+func (tr *Tree) ReportedLeaves() []*Cell {
+	var out []*Cell
+	for _, l := range tr.Leaves(nil, nil) {
+		if l.Status == Reported {
+			out = append(out, l)
+		}
+	}
+	return out
+}

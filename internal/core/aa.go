@@ -1,0 +1,524 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mir/internal/celltree"
+	"mir/internal/geom"
+)
+
+// AA is the advanced mIR algorithm (Section 5, Algorithm 2). Users are
+// grouped by common top-k-th product; an arrangement cell tree is grown by
+// always processing the cell closest to a decision, batch-testing whole
+// groups against it via convex-hull arguments (Lemmas 3/4), and — when a
+// group must be opened — classifying its members through inner-group
+// processing and partitioning the cell only by the hull vertices of the
+// still-cutting members, deferring the rest to descendant cells. For
+// two-dimensional instances a specialized insertion (Lemmas 5/6) reports
+// whole sub-regions per group directly.
+func AA(inst *Instance, m int, opts Options) (*Region, error) {
+	run, err := runAA(inst, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return regionFromTree(run.tr, m, run.st), nil
+}
+
+// runAA executes AA and returns the finished run (tree included), which
+// incremental maintenance builds on.
+func runAA(inst *Instance, m int, opts Options) (*aaRun, error) {
+	if err := inst.CheckM(m); err != nil {
+		return nil, err
+	}
+	run := &aaRun{
+		inst: inst,
+		m:    m,
+		nU:   len(inst.Users),
+		opts: opts,
+		tr:   celltree.New(geom.NewBox(inst.Dim, 0, 1)),
+	}
+	run.seedRoot()
+	run.loop()
+	return run, nil
+}
+
+// runMode selects the loop's objective: computing the m-impact region, or
+// maximizing coverage under a budget (the IS / budgeted-CO adaptation of
+// Section 5.5).
+type runMode int
+
+const (
+	modeMIR runMode = iota
+	modeMaxCov
+	modeMinCost
+)
+
+// aaRun holds the state of one AA execution.
+type aaRun struct {
+	inst *Instance
+	m    int
+	nU   int
+	opts Options
+	tr   *celltree.Tree
+	heap celltree.Heap
+	st   Stats
+	rr   int // round-robin cursor for the ablation strategy
+
+	// Max-coverage mode (IS, budgeted CO).
+	mode      runMode
+	budget    float64
+	costFn    Cost
+	base      geom.Vector
+	bestCov   int
+	bestPoint geom.Vector
+	bestCost  float64
+}
+
+func (r *aaRun) fast() bool { return !r.opts.DisableFastTest }
+
+// seedRoot attaches the full group list to the root and queues it.
+func (r *aaRun) seedRoot() {
+	root := r.tr.Root
+	if root.Status != celltree.Active {
+		return
+	}
+	cg := &cellGroups{}
+	if r.opts.DisableGrouping {
+		for _, g := range r.inst.Groups {
+			for i := range g.Members {
+				single := &Group{Pivot: g.Pivot, R: g.R, Members: g.Members[i : i+1]}
+				cg.views = append(cg.views, newView(single))
+			}
+		}
+	} else {
+		for _, g := range r.inst.Groups {
+			cg.views = append(cg.views, newView(g))
+		}
+	}
+	root.Payload = cg
+	if !r.verify(root) {
+		r.heap.Push(root, r.priority(root))
+	}
+}
+
+// loop is Algorithm 2's main iteration (and, in max-coverage mode, the
+// Section 5.5 variant: budget pruning at pop time, finalization when a
+// cell's pending-group list empties).
+func (r *aaRun) loop() {
+	for r.heap.Len() > 0 {
+		c := r.heap.Pop()
+		if c.Status != celltree.Active {
+			continue
+		}
+		r.st.Iterations++
+		if r.mode == modeMaxCov && r.pruneBudget(c) {
+			continue
+		}
+		if r.mode == modeMinCost && r.pruneCost(c) {
+			continue
+		}
+		r.update(c)
+		if r.verify(c) {
+			continue
+		}
+		cg := c.Payload.(*cellGroups)
+		if len(cg.views) == 0 {
+			if r.mode == modeMaxCov {
+				r.finalize(c)
+				continue
+			}
+			// With all users counted, verify must have decided the cell.
+			panic(fmt.Sprintf("core: cell %d undecided with empty group list (in=%d out=%d |U|=%d)",
+				c.ID, c.InCount, c.OutCount, r.nU))
+		}
+		vi := r.chooseView(cg)
+		var newCG *cellGroups
+		if r.inst.Dim == 2 && !r.opts.Disable2D && r.mode == modeMIR {
+			newCG = r.insert2D(c, cg, vi)
+		} else {
+			newCG = r.insertGroup(c, cg, vi)
+		}
+		if newCG == nil {
+			continue // the cell was decided during group insertion
+		}
+		for _, leaf := range r.tr.Leaves(c, nil) {
+			if leaf.Status != celltree.Active {
+				continue
+			}
+			leaf.Payload = newCG.clone()
+			if !r.verify(leaf) {
+				r.heap.Push(leaf, r.priority(leaf))
+			}
+		}
+	}
+}
+
+// priority is the paper's processing key: for mIR, the number of
+// additional covering halfspaces needed to report or excluding halfspaces
+// needed to eliminate, whichever is smaller; for max-coverage mode, cells
+// with the largest known coverage first.
+func (r *aaRun) priority(c *celltree.Cell) float64 {
+	if r.mode == modeMaxCov {
+		return -float64(c.InCount)
+	}
+	if r.mode == modeMinCost {
+		// Cheapest-possible cells first; the bound is monotone down the
+		// tree, so the first candidate popped at a bound above the
+		// incumbent proves optimality.
+		return r.costFn.LowerBound(c.MBBLo, r.base)
+	}
+	toReport := float64(r.m - c.InCount)
+	toEliminate := float64(r.nU - r.m - c.OutCount + 1)
+	if toReport < toEliminate {
+		return toReport
+	}
+	return toEliminate
+}
+
+// verify implements Algorithm 2's Verify: early reporting and early
+// elimination. It returns true when the cell is (now) decided. "Early"
+// means some users were still undecided at decision time (Figure 16d).
+// In max-coverage mode there is no fixed m: a cell is eliminated when its
+// coverage upper bound cannot beat the incumbent.
+func (r *aaRun) verify(c *celltree.Cell) bool {
+	if c.Status != celltree.Active {
+		return true
+	}
+	if r.mode == modeMaxCov {
+		if r.nU-c.OutCount <= r.bestCov {
+			r.tr.Eliminate(c)
+			return true
+		}
+		return false
+	}
+	if r.mode == modeMinCost {
+		if r.nU-c.OutCount < r.m {
+			r.tr.Eliminate(c)
+			return true
+		}
+		if c.InCount >= r.m {
+			// Every point of the cell covers >= m users: its cheapest
+			// point is a candidate optimum.
+			if pt, cost, err := r.costFn.MinOverCell(c.Polytope(), r.base); err == nil && cost < r.bestCost {
+				r.bestCost = cost
+				r.bestPoint = pt
+			}
+			r.tr.Report(c)
+			return true
+		}
+		return false
+	}
+	if c.InCount >= r.m {
+		r.reportCell(c)
+		return true
+	}
+	if r.nU-c.OutCount < r.m {
+		if c.InCount+c.OutCount < r.nU {
+			r.st.EarlyEliminated++
+		}
+		r.tr.Eliminate(c)
+		return true
+	}
+	return false
+}
+
+// reportCell marks c as part of R, tracking early-reporting stats.
+func (r *aaRun) reportCell(c *celltree.Cell) {
+	if c.Status != celltree.Active {
+		return
+	}
+	if c.InCount+c.OutCount < r.nU {
+		r.st.EarlyReported++
+	}
+	r.tr.Report(c)
+}
+
+// update is Algorithm 2's Update: test every pending group against the
+// cell via Lemmas 3 and 4 and absorb fully-covering / fully-excluded
+// groups into the counts.
+func (r *aaRun) update(c *celltree.Cell) {
+	cg := c.Payload.(*cellGroups)
+	for vi := 0; vi < len(cg.views); {
+		switch r.groupRelation(c, cg.views[vi]) {
+		case geom.Covers:
+			c.InCount += len(cg.views[vi].members)
+			cg.remove(vi)
+			r.st.GroupBatchHits++
+			if r.mode == modeMIR && c.InCount >= r.m {
+				return // verify will report; no need to scan further
+			}
+		case geom.Excludes:
+			c.OutCount += len(cg.views[vi].members)
+			cg.remove(vi)
+			r.st.GroupBatchHits++
+			if r.mode == modeMIR && r.nU-c.OutCount < r.m {
+				return
+			}
+		default:
+			vi++
+		}
+	}
+}
+
+// groupRelation decides whether every member of the view covers the cell
+// (Lemma 3), every member excludes it (Lemma 4), or neither. The fast path
+// is the dominance test of Section 5.3: if the cell's MBB min-corner
+// dominates the group's common top-k-th product r, every product in the
+// cell outscores r for every user; symmetrically for the max-corner.
+func (r *aaRun) groupRelation(c *celltree.Cell, v *view) geom.Relation {
+	if r.fast() {
+		if c.MBBLo.WeakDominates(v.g.R) {
+			return geom.Covers
+		}
+		if v.g.R.WeakDominates(c.MBBHi) {
+			return geom.Excludes
+		}
+	}
+	allCover, allExclude := true, true
+	for _, pos := range v.hullPositions(r.inst) {
+		h := r.inst.HS[v.members[pos]]
+		switch c.Classify(h, r.fast()) {
+		case geom.Covers:
+			allExclude = false
+		case geom.Excludes:
+			allCover = false
+		default:
+			allCover, allExclude = false, false
+		}
+		if !allCover && !allExclude {
+			return geom.Cuts
+		}
+	}
+	if allCover {
+		return geom.Covers
+	}
+	if allExclude {
+		return geom.Excludes
+	}
+	return geom.Cuts
+}
+
+// chooseView implements the group-selection strategy (largest by default;
+// Figure 17a ablates smallest and round-robin).
+func (r *aaRun) chooseView(cg *cellGroups) int {
+	switch r.opts.GroupChoice {
+	case SmallestGroup:
+		best := 0
+		for i, v := range cg.views {
+			if len(v.members) < len(cg.views[best].members) {
+				best = i
+			}
+		}
+		return best
+	case RoundRobinGroup:
+		r.rr++
+		return r.rr % len(cg.views)
+	default:
+		best := 0
+		for i, v := range cg.views {
+			if len(v.members) > len(cg.views[best].members) {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// insertGroup implements Section 5.2's inner-group processing for the view
+// at position vi of the cell's group list. It returns the group list to
+// hand down to the cell's (possibly new) leaves, or nil when the cell was
+// decided during processing.
+func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
+	inst := r.inst
+	v := cg.views[vi]
+
+	var gc, ge, gi []int // positions into v.members
+	if r.opts.DisableInnerGroup {
+		// Ablation: classify every member with its own containment test.
+		for pos := range v.members {
+			switch c.Classify(inst.HS[v.members[pos]], r.fast()) {
+			case geom.Covers:
+				gc = append(gc, pos)
+			case geom.Excludes:
+				ge = append(ge, pos)
+			default:
+				gi = append(gi, pos)
+			}
+		}
+	} else {
+		gc, ge, gi = r.classifyByHull(c, v)
+	}
+	// Keep positions ascending: views inherit the group's member ordering
+	// (descending w[1] for d = 2, where the hull-extremes shortcut depends
+	// on it).
+	sort.Ints(gi)
+
+	c.InCount += len(gc)
+	c.OutCount += len(ge)
+
+	// base: the pending list with the opened view removed.
+	base := cg.clone()
+	base.remove(indexOfView(base, v))
+
+	// Keep c's own payload consistent with its counts at every decision
+	// point: the cutting members (all of G^i) are still pending for c
+	// itself. Incremental maintenance relies on this invariant
+	// (counts + pending = all users) on decided cells.
+	if len(gi) > 0 {
+		giMembers := make([]int, len(gi))
+		for i, pos := range gi {
+			giMembers[i] = v.members[pos]
+		}
+		withGi := base.clone()
+		withGi.views = append(withGi.views, v.withMembers(giMembers))
+		c.Payload = withGi
+	} else {
+		c.Payload = base
+	}
+
+	if r.verify(c) {
+		return nil
+	}
+	if len(gi) == 0 {
+		return base
+	}
+
+	// Partition only by the hull vertices of the still-cutting members;
+	// defer the rest to descendant cells (delayed insertion). The ablation
+	// inserts every cutting halfspace eagerly.
+	var insertPos []int
+	if r.opts.DisableInnerGroup {
+		insertPos = gi
+	} else {
+		insertPos = hullOfPositions(inst, v, gi)
+	}
+	remainder := subtractPositions(gi, insertPos)
+	newCG := base
+	if len(remainder) > 0 {
+		members := make([]int, len(remainder))
+		for i, pos := range remainder {
+			members[i] = v.members[pos]
+		}
+		newCG = base.clone()
+		newCG.views = append(newCG.views, v.withMembers(members))
+	}
+	for _, pos := range insertPos {
+		insertHS(r.tr, c, inst.HS[v.members[pos]], r.fast(), nil)
+	}
+	return newCG
+}
+
+// classifyByHull classifies the view's members into covering (gc),
+// excluding (ge), and cutting (gi) sets using the hull-first strategy of
+// Section 5.2: classify the hull vertices with geometric tests, then place
+// interior members by convex-hull membership (Lemmas 3/4 make any member
+// inside conv of covering vertices covering, and likewise for excluded).
+// Members are pre-filtered with the O(d) MBB test.
+func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
+	inst := r.inst
+	hullPos := v.hullPositions(inst)
+	isHull := make(map[int]bool, len(hullPos))
+	var vc, ve []int // hull positions by relation
+	for _, pos := range hullPos {
+		isHull[pos] = true
+		switch c.Classify(inst.HS[v.members[pos]], r.fast()) {
+		case geom.Covers:
+			gc = append(gc, pos)
+			vc = append(vc, pos)
+		case geom.Excludes:
+			ge = append(ge, pos)
+			ve = append(ve, pos)
+		default:
+			gi = append(gi, pos)
+		}
+	}
+	var vcPts, vePts []geom.Vector
+	for _, pos := range vc {
+		vcPts = append(vcPts, inst.WProj[v.members[pos]])
+	}
+	for _, pos := range ve {
+		vePts = append(vePts, inst.WProj[v.members[pos]])
+	}
+	for pos := range v.members {
+		if isHull[pos] {
+			continue
+		}
+		ui := v.members[pos]
+		// Fast MBB pre-test on the member's own halfspace.
+		if r.fast() {
+			if rel, ok := c.FastClassify(inst.HS[ui]); ok {
+				if rel == geom.Covers {
+					gc = append(gc, pos)
+				} else {
+					ge = append(ge, pos)
+				}
+				continue
+			}
+		}
+		switch {
+		case len(vcPts) > 0 && r.inHull(inst.WProj[ui], vcPts):
+			gc = append(gc, pos)
+		case len(vePts) > 0 && r.inHull(inst.WProj[ui], vePts):
+			ge = append(ge, pos)
+		default:
+			gi = append(gi, pos)
+		}
+	}
+	return gc, ge, gi
+}
+
+// inHull wraps the hull-membership LP, counting it for the ablation stats.
+func (r *aaRun) inHull(q geom.Vector, pts []geom.Vector) bool {
+	r.st.HullTests++
+	return geom.InConvexHull(q, pts)
+}
+
+// hullOfPositions returns the subset of positions whose weight vectors are
+// hull vertices among the given positions.
+func hullOfPositions(inst *Instance, v *view, positions []int) []int {
+	if inst.Dim == 2 {
+		// Members are sorted by w[1]; the extremes are first and last.
+		if len(positions) <= 2 {
+			return positions
+		}
+		return []int{positions[0], positions[len(positions)-1]}
+	}
+	pts := make([]geom.Vector, len(positions))
+	for i, pos := range positions {
+		pts[i] = inst.WProj[v.members[pos]]
+	}
+	hull := geom.ExtremePoints(pts)
+	out := make([]int, len(hull))
+	for i, hi := range hull {
+		out[i] = positions[hi]
+	}
+	return out
+}
+
+// subtractPositions returns the elements of all that are not in sub
+// (both ascending-compatible; uses a set for clarity).
+func subtractPositions(all, sub []int) []int {
+	drop := make(map[int]bool, len(sub))
+	for _, p := range sub {
+		drop[p] = true
+	}
+	var out []int
+	for _, p := range all {
+		if !drop[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// indexOfView locates v in the clone (clone preserves order, so this is
+// the original index, but search keeps the invariant local).
+func indexOfView(cg *cellGroups, v *view) int {
+	for i, x := range cg.views {
+		if x == v {
+			return i
+		}
+	}
+	panic("core: view not found in group list")
+}

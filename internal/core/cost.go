@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+
+	"mir/internal/geom"
+	"mir/internal/solver"
+)
+
+// Cost models the creation or upgrade cost of a product as a monotone
+// convex function of the attribute (increment) vector, as assumed by the
+// CO and IS problems. Implementations must supply an exact minimizer over
+// a convex cell and a cheap lower bound from the cell's bounding box.
+type Cost interface {
+	// Eval returns the cost of the non-negative increment vector delta.
+	Eval(delta geom.Vector) float64
+	// MinOverCell returns the point of poly minimizing Eval(x - base),
+	// with its cost. base is the origin for creation problems or the
+	// current product position for upgrade problems.
+	MinOverCell(poly *geom.Polytope, base geom.Vector) (geom.Vector, float64, error)
+	// LowerBound returns a valid lower bound on the cost over any region
+	// whose bounding-box lower corner is mbbLo (using monotonicity:
+	// every point x of the region has x >= mbbLo).
+	LowerBound(mbbLo, base geom.Vector) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// clampDelta returns max(0, lo - base) componentwise: the smallest
+// possible increment within a region bounded below by lo.
+func clampDelta(lo, base geom.Vector) geom.Vector {
+	d := make(geom.Vector, len(lo))
+	for i := range lo {
+		if v := lo[i] - base[i]; v > 0 {
+			d[i] = v
+		}
+	}
+	return d
+}
+
+// L2Cost is the Euclidean cost ||delta||_2 — the paper's default for both
+// CO (creation cost = distance from the origin) and IS (upgrade cost =
+// distance from the current product).
+type L2Cost struct{}
+
+// Eval returns the Euclidean norm of delta.
+func (L2Cost) Eval(delta geom.Vector) float64 { return delta.Norm() }
+
+// MinOverCell projects base onto the cell (an exact active-set QP).
+func (L2Cost) MinOverCell(poly *geom.Polytope, base geom.Vector) (geom.Vector, float64, error) {
+	return solver.Project(poly, base)
+}
+
+// LowerBound returns ||max(0, mbbLo - base)||.
+func (L2Cost) LowerBound(mbbLo, base geom.Vector) float64 {
+	return clampDelta(mbbLo, base).Norm()
+}
+
+// Name returns "L2".
+func (L2Cost) Name() string { return "L2" }
+
+// L1Cost is the Manhattan cost sum |delta_i|, demonstrating the paper's
+// claim that the mIR reduction extends to any convex cost with an
+// available solver (here a linear program).
+type L1Cost struct{}
+
+// Eval returns the L1 norm of delta.
+func (L1Cost) Eval(delta geom.Vector) float64 {
+	s := 0.0
+	for _, x := range delta {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// MinOverCell solves the L1 projection LP.
+func (L1Cost) MinOverCell(poly *geom.Polytope, base geom.Vector) (geom.Vector, float64, error) {
+	return solver.MinL1(poly, base)
+}
+
+// LowerBound returns the L1 norm of the clamped increment.
+func (L1Cost) LowerBound(mbbLo, base geom.Vector) float64 {
+	return L1Cost{}.Eval(clampDelta(mbbLo, base))
+}
+
+// Name returns "L1".
+func (L1Cost) Name() string { return "L1" }
+
+// WeightedL2Cost is a per-attribute weighted Euclidean cost
+// sqrt(sum c_i delta_i^2): some attributes are more expensive to improve
+// than others (e.g. upgrading rooms costs more than improving front-desk
+// service).
+type WeightedL2Cost struct {
+	// C holds strictly positive per-attribute cost factors.
+	C geom.Vector
+}
+
+// Eval returns sqrt(sum C_i * delta_i^2).
+func (w WeightedL2Cost) Eval(delta geom.Vector) float64 {
+	s := 0.0
+	for i, x := range delta {
+		s += w.C[i] * x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MinOverCell rescales coordinates by sqrt(C) and projects in the scaled
+// space, which turns the weighted problem into a plain Euclidean QP.
+func (w WeightedL2Cost) MinOverCell(poly *geom.Polytope, base geom.Vector) (geom.Vector, float64, error) {
+	d := poly.Dim
+	scale := make(geom.Vector, d)
+	for i := range scale {
+		scale[i] = math.Sqrt(w.C[i])
+	}
+	// Transform constraints a·x >= b with x_i = y_i / scale_i.
+	scaled := &geom.Polytope{Dim: d, Hs: make([]geom.Halfspace, len(poly.Hs))}
+	for i, h := range poly.Hs {
+		nw := make(geom.Vector, d)
+		for j := range nw {
+			nw[j] = h.W[j] / scale[j]
+		}
+		scaled.Hs[i] = geom.Halfspace{W: nw, T: h.T}
+	}
+	sBase := make(geom.Vector, d)
+	for i := range sBase {
+		sBase[i] = base[i] * scale[i]
+	}
+	y, cost, err := solver.Project(scaled, sBase)
+	if err != nil {
+		return nil, 0, err
+	}
+	x := make(geom.Vector, d)
+	for i := range x {
+		x[i] = y[i] / scale[i]
+	}
+	return x, cost, nil
+}
+
+// LowerBound evaluates the clamped increment.
+func (w WeightedL2Cost) LowerBound(mbbLo, base geom.Vector) float64 {
+	return w.Eval(clampDelta(mbbLo, base))
+}
+
+// Name returns "weighted-L2".
+func (WeightedL2Cost) Name() string { return "weighted-L2" }

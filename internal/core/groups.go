@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sort"
+
+	"mir/internal/geom"
+)
+
+// Group collects the users that share a common top-k-th product r
+// (Section 5.1). All their influential-halfspace boundaries pass through
+// r, which powers the batch tests of Lemmas 3 and 4, keeps the
+// arrangement small (zone-theorem argument), and enables the specialized
+// two-dimensional insertion of Section 5.4.
+type Group struct {
+	Pivot int         // product index of r
+	R     geom.Vector // coordinates of r
+	// Members lists user indices. For d = 2 they are sorted by descending
+	// w[1] (the paper's "i-th largest w[1]" ordering behind Lemmas 5/6);
+	// for d > 2 the order is ascending user index.
+	Members []int
+}
+
+// buildGroups partitions users by top-k-th product.
+func buildGroups(inst *Instance) []*Group {
+	byPivot := make(map[int]*Group)
+	var order []int
+	for ui, r := range inst.Kth {
+		g, ok := byPivot[r.Index]
+		if !ok {
+			g = &Group{Pivot: r.Index, R: inst.Products[r.Index]}
+			byPivot[r.Index] = g
+			order = append(order, r.Index)
+		}
+		g.Members = append(g.Members, ui)
+	}
+	sort.Ints(order)
+	groups := make([]*Group, 0, len(order))
+	for _, pivot := range order {
+		g := byPivot[pivot]
+		if inst.Dim == 2 {
+			sort.Slice(g.Members, func(a, b int) bool {
+				wa := inst.Users[g.Members[a]].W[0]
+				wb := inst.Users[g.Members[b]].W[0]
+				if wa != wb {
+					return wa > wb // descending w[1] (paper indexing)
+				}
+				return g.Members[a] < g.Members[b]
+			})
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// GroupStats summarizes grouping effectiveness (paper Figure 11b).
+type GroupStats struct {
+	NumGroups   int
+	AvgSize     float64
+	MaxSize     int
+	AvgHullSize float64
+}
+
+// GroupStats computes grouping statistics for the instance, including the
+// average convex-hull vertex count per group (hulls in weight space).
+func (inst *Instance) GroupStats() GroupStats {
+	s := GroupStats{NumGroups: len(inst.Groups)}
+	if s.NumGroups == 0 {
+		return s
+	}
+	totalHull := 0
+	for _, g := range inst.Groups {
+		if len(g.Members) > s.MaxSize {
+			s.MaxSize = len(g.Members)
+		}
+		pts := make([]geom.Vector, len(g.Members))
+		for i, ui := range g.Members {
+			pts[i] = inst.WProj[ui]
+		}
+		totalHull += len(geom.ExtremePoints(pts))
+	}
+	s.AvgSize = float64(len(inst.Users)) / float64(s.NumGroups)
+	s.AvgHullSize = float64(totalHull) / float64(s.NumGroups)
+	return s
+}
+
+// view is the per-cell, copy-on-write remainder of a group: the members
+// whose relation to the cell is still undecided (the entries of the
+// paper's individualized c.G list). Views are immutable once shared
+// between sibling cells; the hull cache is computed lazily and is
+// idempotent.
+type view struct {
+	g       *Group
+	members []int // user indices (inherit the group's ordering)
+	hull    []int // lazily computed positions (into members) of hull vertices
+}
+
+func newView(g *Group) *view {
+	return &view{g: g, members: g.Members}
+}
+
+// hullPositions returns the positions (indices into v.members) of the
+// convex-hull vertices of the view's user vectors in weight space.
+func (v *view) hullPositions(inst *Instance) []int {
+	if v.hull != nil {
+		return v.hull
+	}
+	if inst.Dim == 2 {
+		// Members are sorted by w[1]; the 1-D hull is {first, last}.
+		if len(v.members) == 1 {
+			v.hull = []int{0}
+		} else {
+			v.hull = []int{0, len(v.members) - 1}
+		}
+		return v.hull
+	}
+	pts := make([]geom.Vector, len(v.members))
+	for i, ui := range v.members {
+		pts[i] = inst.WProj[ui]
+	}
+	v.hull = geom.ExtremePoints(pts)
+	return v.hull
+}
+
+// withMembers derives a new view with the given member subset.
+func (v *view) withMembers(members []int) *view {
+	return &view{g: v.g, members: members}
+}
+
+// cellGroups is the payload a cell carries: its individualized pending
+// group list. Slices of views are copied on modification; the views
+// themselves are shared.
+type cellGroups struct {
+	views []*view
+}
+
+func (cg *cellGroups) clone() *cellGroups {
+	vs := make([]*view, len(cg.views))
+	copy(vs, cg.views)
+	return &cellGroups{views: vs}
+}
+
+// remove drops the view at position i (order not preserved).
+func (cg *cellGroups) remove(i int) {
+	last := len(cg.views) - 1
+	cg.views[i] = cg.views[last]
+	cg.views = cg.views[:last]
+}
+
+// undecided returns the total number of users still undecided for the cell.
+func (cg *cellGroups) undecided() int {
+	n := 0
+	for _, v := range cg.views {
+		n += len(v.members)
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"mir/internal/celltree"
+	"mir/internal/geom"
+)
+
+// insertHS inserts influential halfspace h into the subtree rooted at c
+// (Algorithm 1's InsertHS): decided leaves are skipped; leaves fully inside
+// h gain an InCount, leaves fully outside gain an OutCount, and leaves the
+// boundary cuts through are split (the inside child gains the InCount, the
+// outside child the OutCount). onChange is invoked for every active leaf
+// whose counts changed, letting callers verify early reporting/elimination
+// immediately.
+//
+// Classification happens at internal nodes too: when h covers or excludes
+// an entire internal region, the counts of every active leaf below are
+// bumped without further geometric tests.
+func insertHS(tr *celltree.Tree, c *celltree.Cell, h geom.Halfspace, fast bool, onChange func(*celltree.Cell)) {
+	if c.IsLeaf() && c.Status != celltree.Active {
+		return
+	}
+	switch c.Classify(h, fast) {
+	case geom.Covers:
+		bumpSubtree(c, true, onChange)
+	case geom.Excludes:
+		bumpSubtree(c, false, onChange)
+	case geom.Cuts:
+		if c.IsLeaf() {
+			l, r := tr.SplitBy(c, h)
+			if l.Status == celltree.Active {
+				l.OutCount++
+				if onChange != nil {
+					onChange(l)
+				}
+			}
+			if r.Status == celltree.Active {
+				r.InCount++
+				if onChange != nil {
+					onChange(r)
+				}
+			}
+		} else {
+			left, right := c.Children()
+			insertHS(tr, left, h, fast, onChange)
+			insertHS(tr, right, h, fast, onChange)
+		}
+	}
+}
+
+// bumpSubtree adds one covering (in=true) or excluding (in=false) user to
+// every active leaf under c.
+func bumpSubtree(c *celltree.Cell, in bool, onChange func(*celltree.Cell)) {
+	if c.IsLeaf() {
+		if c.Status != celltree.Active {
+			return
+		}
+		if in {
+			c.InCount++
+		} else {
+			c.OutCount++
+		}
+		if onChange != nil {
+			onChange(c)
+		}
+		return
+	}
+	left, right := c.Children()
+	bumpSubtree(left, in, onChange)
+	bumpSubtree(right, in, onChange)
+}

@@ -1,0 +1,137 @@
+// Package core implements the paper's algorithms for the m-impact region
+// problem (mIR) and the standing top-k influence problems it solves:
+//
+//   - NVE: the naïve algorithm (Section 4.1) — intersect the influential
+//     halfspaces of every m-sized user subset.
+//   - BSL: the baseline (Section 4.2) — build the halfspace arrangement
+//     incrementally with early reporting and early elimination.
+//   - AA: the advanced approach (Section 5) — group users by common
+//     top-k-th product, exploit convex-hull batch tests (Lemmas 3/4),
+//     inner-group processing with delayed insertion, MBB filter-and-refine
+//     fast tests, individualized cell partitioning, and a specialized
+//     two-dimensional insertion (Lemmas 5/6).
+//   - CO / IS / budgeted CO / thresholded IS adaptations (Section 5.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// Errors returned by input validation.
+var (
+	ErrNoUsers     = errors.New("core: empty user set")
+	ErrNoProducts  = errors.New("core: empty product set")
+	ErrBadM        = errors.New("core: m must satisfy 1 <= m <= |U|")
+	ErrBadK        = errors.New("core: every user k must satisfy 1 <= k <= |P|")
+	ErrDimMismatch = errors.New("core: product and user dimensionalities differ")
+)
+
+// Instance is a validated, preprocessed mIR problem: the products, users,
+// every user's influential halfspace, and the user groups of Section 5.1.
+type Instance struct {
+	Products []geom.Vector
+	Users    []topk.UserPref
+	Dim      int
+
+	// Kth[i] identifies user i's top-k-th product (personal k).
+	Kth []topk.KthResult
+	// HS[i] is user i's influential halfspace {p : w_i·p >= S^k_{w_i}}.
+	HS []geom.Halfspace
+	// WProj[i] is user i's weight vector projected to the (d-1)-dimensional
+	// weight space (the simplex constraint makes the last coordinate
+	// redundant); hull computations run in this space.
+	WProj []geom.Vector
+	// Groups partitions users by their top-k-th product.
+	Groups []*Group
+}
+
+// NewInstance validates the inputs and performs the all-top-k
+// preprocessing: every user's top-k-th product, influential halfspace, and
+// group assignment.
+func NewInstance(products []geom.Vector, users []topk.UserPref) (*Instance, error) {
+	if len(products) == 0 {
+		return nil, ErrNoProducts
+	}
+	if len(users) == 0 {
+		return nil, ErrNoUsers
+	}
+	d := len(products[0])
+	for i, p := range products {
+		if len(p) != d {
+			return nil, fmt.Errorf("%w: product %d has %d attributes, want %d",
+				ErrDimMismatch, i, len(p), d)
+		}
+	}
+	for i, u := range users {
+		if len(u.W) != d {
+			return nil, fmt.Errorf("%w: user %d has %d weights, want %d",
+				ErrDimMismatch, i, len(u.W), d)
+		}
+		if u.K < 1 || u.K > len(products) {
+			return nil, fmt.Errorf("%w: user %d has k=%d (|P|=%d)",
+				ErrBadK, i, u.K, len(products))
+		}
+	}
+
+	inst := &Instance{
+		Products: products,
+		Users:    users,
+		Dim:      d,
+	}
+	inst.Kth = topk.AllTopK(products, users)
+	inst.HS = make([]geom.Halfspace, len(users))
+	inst.WProj = make([]geom.Vector, len(users))
+	for i, u := range users {
+		inst.HS[i] = geom.Halfspace{W: u.W, T: inst.Kth[i].Score}
+		if d > 1 {
+			inst.WProj[i] = u.W[:d-1]
+		} else {
+			inst.WProj[i] = u.W
+		}
+	}
+	inst.Groups = buildGroups(inst)
+	return inst, nil
+}
+
+// CheckM validates an m value against the instance.
+func (inst *Instance) CheckM(m int) error {
+	if m < 1 || m > len(inst.Users) {
+		return fmt.Errorf("%w: m=%d, |U|=%d", ErrBadM, m, len(inst.Users))
+	}
+	return nil
+}
+
+// CountCovering returns the number of users whose top-k result a
+// (hypothetical) product at point p would enter — the brute-force coverage
+// oracle used for verification and by the public API.
+func (inst *Instance) CountCovering(p geom.Vector) int {
+	n := 0
+	for _, h := range inst.HS {
+		if h.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// MinBoundaryGap returns the smallest |w_i·p - t_i| over all users: the
+// distance (in score units) of p from the nearest top-k entry boundary.
+// Sampling-based tests use it to skip points too close to a boundary for
+// float comparisons to be meaningful.
+func (inst *Instance) MinBoundaryGap(p geom.Vector) float64 {
+	best := 1e18
+	for _, h := range inst.HS {
+		g := h.Eval(p)
+		if g < 0 {
+			g = -g
+		}
+		if g < best {
+			best = g
+		}
+	}
+	return best
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"mir/internal/celltree"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// Maintainer keeps an m-impact region up to date under a dynamic user set
+// — the future-work direction sketched in the paper's conclusion (users
+// currently online, real-time advertising). Instead of recomputing from
+// scratch, it retains the finished arrangement and, on each user arrival
+// or departure, re-verifies only the cells whose decision the update can
+// invalidate, resuming the AA loop on those:
+//
+//   - Adding a user can only revive Eliminated cells (reported cells stay
+//     reported: coverage counts only grow).
+//   - Removing a user can only demote Reported cells (eliminated cells
+//     stay eliminated: |U| and the cell's exclusion count drop together).
+//
+// User indices are stable: removed slots are tombstoned, and new users
+// take fresh indices.
+type Maintainer struct {
+	products []geom.Vector
+	dim      int
+	m        int
+	opts     Options
+
+	users  []topk.UserPref
+	alive  []bool
+	nAlive int
+
+	run *aaRun
+}
+
+// NewMaintainer computes the initial region and retains the arrangement.
+//
+// The 2-D specialized insertion is disabled for maintained runs: it
+// reports cells on nesting arguments without materializing their coverage
+// counts, and resumable decisions require count-faithful cells.
+func NewMaintainer(inst *Instance, m int, opts Options) (*Maintainer, error) {
+	opts.Disable2D = true
+	run, err := runAA(inst, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	mt := &Maintainer{
+		products: inst.Products,
+		dim:      inst.Dim,
+		m:        m,
+		opts:     opts,
+		users:    inst.Users,
+		alive:    make([]bool, len(inst.Users)),
+		nAlive:   len(inst.Users),
+		run:      run,
+	}
+	for i := range mt.alive {
+		mt.alive[i] = true
+	}
+	return mt, nil
+}
+
+// NumUsers returns the current (alive) user count.
+func (mt *Maintainer) NumUsers() int { return mt.nAlive }
+
+// Region extracts the current m-impact region from the maintained
+// arrangement.
+func (mt *Maintainer) Region() *Region {
+	return regionFromTree(mt.run.tr, mt.m, mt.run.st)
+}
+
+// CountCovering returns the number of alive users covering point p.
+func (mt *Maintainer) CountCovering(p geom.Vector) int {
+	n := 0
+	for i, h := range mt.run.inst.HS {
+		if mt.alive[i] && h.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// MinBoundaryGap mirrors Instance.MinBoundaryGap over alive users.
+func (mt *Maintainer) MinBoundaryGap(p geom.Vector) float64 {
+	best := 1e18
+	for i, h := range mt.run.inst.HS {
+		if !mt.alive[i] {
+			continue
+		}
+		g := h.Eval(p)
+		if g < 0 {
+			g = -g
+		}
+		if g < best {
+			best = g
+		}
+	}
+	return best
+}
+
+// AddUser registers a new user, updates the region incrementally, and
+// returns the user's index (for a later RemoveUser).
+func (mt *Maintainer) AddUser(u topk.UserPref) (int, error) {
+	if len(u.W) != mt.dim {
+		return 0, fmt.Errorf("%w: new user has %d weights, want %d",
+			ErrDimMismatch, len(u.W), mt.dim)
+	}
+	if u.K < 1 || u.K > len(mt.products) {
+		return 0, fmt.Errorf("%w: new user has k=%d (|P|=%d)",
+			ErrBadK, u.K, len(mt.products))
+	}
+	inst := mt.run.inst
+	kth := topk.KthScore(mt.products, u.W, u.K)
+	idx := len(mt.users)
+
+	mt.users = append(mt.users, u)
+	mt.alive = append(mt.alive, true)
+	mt.nAlive++
+	inst.Users = append(inst.Users, u)
+	inst.Kth = append(inst.Kth, kth)
+	inst.HS = append(inst.HS, geom.Halfspace{W: u.W, T: kth.Score})
+	if mt.dim > 1 {
+		inst.WProj = append(inst.WProj, u.W[:mt.dim-1])
+	} else {
+		inst.WProj = append(inst.WProj, u.W)
+	}
+
+	// The new user becomes a singleton pending view on EVERY leaf, decided
+	// or not, so that the accounting invariant (counts + pending = alive
+	// users) survives future reactivations. Reported cells stay reported
+	// (their coverage only grows); eliminated cells whose bound now allows
+	// reaching m are revived and resume processing.
+	g := &Group{Pivot: kth.Index, R: mt.products[kth.Index], Members: []int{idx}}
+
+	mt.run.nU = mt.nAlive
+	for _, leaf := range mt.run.tr.Leaves(nil, nil) {
+		if leaf.Empty {
+			continue
+		}
+		cg := pendingOf(leaf).clone()
+		cg.views = append(cg.views, newView(g))
+		leaf.Payload = cg
+		if leaf.Status != celltree.Eliminated {
+			continue
+		}
+		// Elimination condition with the larger population: still valid?
+		if mt.nAlive-leaf.OutCount < mt.m {
+			continue
+		}
+		mt.run.tr.Reactivate(leaf)
+		if !mt.run.verify(leaf) {
+			mt.run.heap.Push(leaf, mt.run.priority(leaf))
+		}
+	}
+	mt.run.loop()
+	return idx, nil
+}
+
+// RemoveUser retires the user at the given index and updates the region
+// incrementally.
+func (mt *Maintainer) RemoveUser(idx int) error {
+	if idx < 0 || idx >= len(mt.users) || !mt.alive[idx] {
+		return fmt.Errorf("core: user %d not present", idx)
+	}
+	mt.alive[idx] = false
+	mt.nAlive--
+	mt.run.nU = mt.nAlive
+	h := mt.run.inst.HS[idx]
+
+	for _, leaf := range mt.run.tr.Leaves(nil, nil) {
+		if leaf.Empty {
+			continue
+		}
+		// Strip the user from the leaf's pending views (views are shared
+		// between sibling leaves, so replace rather than mutate).
+		cg := pendingOf(leaf)
+		stripped := false
+		for vi, v := range cg.views {
+			pos := -1
+			for i, ui := range v.members {
+				if ui == idx {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				continue
+			}
+			stripped = true
+			nc := cg.clone()
+			if len(v.members) == 1 {
+				nc.remove(vi)
+			} else {
+				nc.views[vi] = v.withMembers(dropTwo(v.members, pos, pos))
+			}
+			leaf.Payload = nc
+			break
+		}
+		if !stripped {
+			// The user was decided for this leaf: undo the count.
+			switch leaf.Classify(h, !mt.opts.DisableFastTest) {
+			case geom.Covers:
+				leaf.InCount--
+			case geom.Excludes:
+				leaf.OutCount--
+			}
+			// A Cuts answer would mean the user was never counted (it
+			// should then have been pending); tolerate it silently — the
+			// leaf's counts are left untouched.
+		}
+		// Re-verify decisions that removal can break.
+		if leaf.Status == celltree.Reported && leaf.InCount < mt.m {
+			mt.run.tr.Reactivate(leaf)
+			if !mt.run.verify(leaf) {
+				mt.run.heap.Push(leaf, mt.run.priority(leaf))
+			}
+		}
+	}
+	mt.run.loop()
+	return nil
+}
+
+// pendingOf returns the leaf's pending group list (empty when absent).
+func pendingOf(c *celltree.Cell) *cellGroups {
+	if cg, ok := c.Payload.(*cellGroups); ok && cg != nil {
+		return cg
+	}
+	cg := &cellGroups{}
+	c.Payload = cg
+	return cg
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mir/internal/data"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// checkMaintainerOracle verifies the maintained region against the alive
+// population by sampling: in-region iff covering >= m alive users.
+func checkMaintainerOracle(t *testing.T, mt *Maintainer, m int, rng *rand.Rand, probes int) {
+	t.Helper()
+	reg := mt.Region()
+	for i := 0; i < probes; i++ {
+		p := make(geom.Vector, mt.dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		if mt.MinBoundaryGap(p) < 1e-6 {
+			continue
+		}
+		covers := mt.CountCovering(p)
+		if (covers >= m) != reg.Contains(p) {
+			t.Fatalf("maintained region wrong at %v: covers %d (m=%d, |U|=%d) contains=%v",
+				p, covers, m, mt.NumUsers(), reg.Contains(p))
+		}
+	}
+}
+
+func TestMaintainerAddUsers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := randomInstance(t, rng, 200, 15, 3, 5)
+	m := 8
+	mt, err := NewMaintainer(inst, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMaintainerOracle(t, mt, m, rng, 1200)
+	for i := 0; i < 6; i++ {
+		w := data.UniformUsers(rng, 1, 3)[0]
+		if _, err := mt.AddUser(topk.UserPref{W: w, K: 1 + rng.Intn(8)}); err != nil {
+			t.Fatal(err)
+		}
+		checkMaintainerOracle(t, mt, m, rng, 800)
+	}
+	if mt.NumUsers() != 21 {
+		t.Errorf("NumUsers = %d, want 21", mt.NumUsers())
+	}
+}
+
+func TestMaintainerRemoveUsers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := randomInstance(t, rng, 200, 18, 3, 5)
+	m := 8
+	mt, err := NewMaintainer(inst, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := rng.Perm(18)
+	for i := 0; i < 8; i++ {
+		if err := mt.RemoveUser(order[i]); err != nil {
+			t.Fatal(err)
+		}
+		checkMaintainerOracle(t, mt, m, rng, 800)
+	}
+	if mt.NumUsers() != 10 {
+		t.Errorf("NumUsers = %d, want 10", mt.NumUsers())
+	}
+}
+
+// TestMaintainerChurn interleaves arrivals and departures and cross-checks
+// against a from-scratch recomputation at the end.
+func TestMaintainerChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{2, 3} {
+		ps := data.Independent(rng, 200, d)
+		ws := data.ClusteredUsers(rng, 14, d, 3, 0.08)
+		users := data.WithK(ws, 5)
+		inst, err := NewInstance(ps, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 7
+		mt, err := NewMaintainer(inst, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aliveSet := map[int]bool{}
+		for i := 0; i < 14; i++ {
+			aliveSet[i] = true
+		}
+		for step := 0; step < 12; step++ {
+			if rng.Intn(2) == 0 || len(aliveSet) <= m {
+				w := data.UniformUsers(rng, 1, d)[0]
+				idx, err := mt.AddUser(topk.UserPref{W: w, K: 1 + rng.Intn(6)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				aliveSet[idx] = true
+			} else {
+				var victim int
+				for idx := range aliveSet {
+					victim = idx
+					break
+				}
+				delete(aliveSet, victim)
+				if err := mt.RemoveUser(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkMaintainerOracle(t, mt, m, rng, 500)
+		}
+		// Final cross-check against a fresh AA run over the alive users.
+		var aliveUsers []topk.UserPref
+		for i, u := range mt.users {
+			if mt.alive[i] {
+				aliveUsers = append(aliveUsers, u)
+			}
+		}
+		fresh, err := NewInstance(ps, aliveUsers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshReg, err := AA(fresh, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maintained := mt.Region()
+		for probe := 0; probe < 2000; probe++ {
+			p := make(geom.Vector, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			if fresh.MinBoundaryGap(p) < 1e-6 {
+				continue
+			}
+			if freshReg.Contains(p) != maintained.Contains(p) {
+				t.Fatalf("d=%d: maintained and fresh regions disagree at %v (covers %d)",
+					d, p, fresh.CountCovering(p))
+			}
+		}
+	}
+}
+
+func TestMaintainerErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := randomInstance(t, rng, 100, 8, 2, 3)
+	mt, err := NewMaintainer(inst, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.AddUser(topk.UserPref{W: geom.Vector{0.5, 0.3, 0.2}, K: 3}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := mt.AddUser(topk.UserPref{W: geom.Vector{0.5, 0.5}, K: 0}); err == nil {
+		t.Error("bad k accepted")
+	}
+	if err := mt.RemoveUser(99); err == nil {
+		t.Error("bad index accepted")
+	}
+	if err := mt.RemoveUser(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.RemoveUser(3); err == nil {
+		t.Error("double removal accepted")
+	}
+}
+
+// TestMaintainerCheaperThanRecompute: incremental work after one arrival
+// should create far fewer new cells than recomputing from scratch.
+func TestMaintainerIncrementalWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := randomInstance(t, rng, 400, 40, 3, 10)
+	m := 20
+	mt, err := NewMaintainer(inst, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsBefore := mt.run.tr.Stats.CellsCreated
+	w := data.UniformUsers(rng, 1, 3)[0]
+	if _, err := mt.AddUser(topk.UserPref{W: w, K: 10}); err != nil {
+		t.Fatal(err)
+	}
+	added := mt.run.tr.Stats.CellsCreated - cellsBefore
+	if added > cellsBefore/2 {
+		t.Errorf("incremental add created %d cells on top of %d — not incremental",
+			added, cellsBefore)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"mir/internal/geom"
+)
+
+// NVE is the naïve mIR algorithm (Section 4.1): for every m-sized user
+// subset, intersect the members' influential halfspaces with the product
+// box; the result is the union of the non-empty intersections. Exact but
+// exponential — O(C(|U|, m) · m^⌊d/2⌋) — it exists as a correctness oracle
+// for small instances and as the paper's point of departure.
+func NVE(inst *Instance, m int) (*Region, error) {
+	if err := inst.CheckM(m); err != nil {
+		return nil, err
+	}
+	reg := &Region{Dim: inst.Dim, M: m}
+	box := geom.NewBox(inst.Dim, 0, 1)
+	n := len(inst.Users)
+
+	subset := make([]int, m)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == m {
+			p := box.Clone()
+			for _, ui := range subset {
+				p.Append(inst.HS[ui])
+			}
+			if !p.IsEmpty() {
+				reg.Cells = append(reg.Cells, p)
+			}
+			return
+		}
+		for i := start; i <= n-(m-depth); i++ {
+			subset[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return reg, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+// GroupChoice selects which pending group AA inserts into a cell when the
+// batch tests leave it undecided (paper Figure 17a ablation).
+type GroupChoice int
+
+const (
+	// LargestGroup (the paper's strategy): the bigger the group, the more
+	// aggressively it pushes the cell toward early reporting/elimination.
+	LargestGroup GroupChoice = iota
+	// SmallestGroup: the adversarial opposite, for ablation.
+	SmallestGroup
+	// RoundRobinGroup: rotate through pending groups.
+	RoundRobinGroup
+)
+
+// Options tune the AA algorithm; the zero value enables every optimization
+// (the paper's configuration). The Disable* switches exist for the
+// effectiveness ablations of Section 6.4.
+type Options struct {
+	// GroupChoice picks the insertion group (Figure 17a).
+	GroupChoice GroupChoice
+	// DisableFastTest turns off the MBB filter-and-refine tests of
+	// Section 5.3 (Figure 16c).
+	DisableFastTest bool
+	// DisableInnerGroup turns off inner-group processing (Section 5.2):
+	// group members are classified one by one against the cell and all
+	// cutting halfspaces are inserted eagerly (Figure 16b).
+	DisableInnerGroup bool
+	// Disable2D turns off the specialized two-dimensional insertion of
+	// Section 5.4, forcing the generic path even when d = 2 (Figure 16a).
+	Disable2D bool
+	// DisableGrouping makes every user its own group, degenerating AA
+	// toward BSL-style one-by-one insertion (extra ablation).
+	DisableGrouping bool
+}
+
+// Stats aggregates the algorithm-level counters reported in the paper's
+// Section 6 (cell counts come from the arrangement's own stats).
+type Stats struct {
+	// Cells, Splits, ContainmentTests, FastTests mirror the arrangement.
+	Cells            int
+	Splits           int
+	ContainmentTests int
+	FastTests        int
+	// Reported and Eliminated count decided cells; EarlyReported and
+	// EarlyEliminated count the subset decided before their group list
+	// emptied (the paper's early reporting / early elimination,
+	// Figure 16d).
+	Reported        int
+	Eliminated      int
+	EarlyReported   int
+	EarlyEliminated int
+	// HullTests counts convex-hull membership LPs run by inner-group
+	// processing; GroupBatchHits counts whole groups decided by Lemma 3/4.
+	HullTests      int
+	GroupBatchHits int
+	// Iterations counts heap pops.
+	Iterations int
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"mir/internal/celltree"
+	"mir/internal/geom"
+)
+
+// insert2D is the specialized group insertion for d = 2 (Section 5.4,
+// Algorithm 3). Within a group, all influential halfplane boundaries pass
+// through the common top-k-th product r, and by Lemma 5 they are nested on
+// each side of the vertical line x = r[1]: sorting members by descending
+// w[1] (the view's inherited order), the part of the cell inside H_m or
+// H_{t-m+1} covers at least m group members (Lemma 6) and can be reported
+// outright, while members between those two indices exclude the entire
+// remainder and are dropped from further consideration.
+//
+// It returns the group list for the cell's surviving leaves, or nil when
+// the cell was decided.
+func (r *aaRun) insert2D(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
+	v := cg.views[vi]
+	t := len(v.members)
+	m := r.m
+
+	newCG := cg.clone()
+	newCG.remove(indexOfView(newCG, v))
+
+	hsOf := func(pos int) geom.Halfspace { return r.inst.HS[v.members[pos]] }
+
+	switch {
+	case t >= 2*m:
+		// Report (H_m ∪ H_{t-m+1}) ∩ c. Survivors lie outside both, where
+		// users m..t-m+1 (1-based) all exclude; only the m-1 top and m-1
+		// bottom members stay relevant.
+		hm, hr := hsOf(m-1), hsOf(t-m)
+		r.apply2D(c, hm, hr, func(leaf *celltree.Cell, inHm, inHr bool) {
+			if inHm || inHr {
+				r.reportCell(leaf)
+				return
+			}
+			leaf.OutCount += t - 2*m + 2
+		})
+		keep := make([]int, 0, 2*(m-1))
+		for pos := 0; pos < m-1; pos++ {
+			keep = append(keep, v.members[pos])
+		}
+		for pos := t - m + 1; pos < t; pos++ {
+			keep = append(keep, v.members[pos])
+		}
+		if len(keep) > 0 {
+			newCG.views = append(newCG.views, v.withMembers(keep))
+		}
+
+	case t >= m:
+		// Report (H_m ∩ H_{t-m+1}) ∩ c; survivors learn their relation to
+		// the two inserted members, who leave the group.
+		lPos, rPos := m-1, t-m
+		if lPos == rPos {
+			// t = 2m-1: the two bounds coincide; a single halfspace decides.
+			h := hsOf(lPos)
+			r.apply2D(c, h, h, func(leaf *celltree.Cell, inH, _ bool) {
+				if inH {
+					r.reportCell(leaf)
+					return
+				}
+				leaf.OutCount++
+			})
+			if rest := dropPositions(v.members, lPos, lPos); len(rest) > 0 {
+				newCG.views = append(newCG.views, v.withMembers(rest))
+			}
+			break
+		}
+		hl, hr := hsOf(lPos), hsOf(rPos)
+		r.apply2D(c, hl, hr, func(leaf *celltree.Cell, inL, inR bool) {
+			if inL && inR {
+				r.reportCell(leaf)
+				return
+			}
+			bump(leaf, inL)
+			bump(leaf, inR)
+		})
+		// Only the two inserted members leave the group (Algorithm 3 line
+		// 11); the members between them remain undecided for survivors.
+		// Note rPos < lPos here: t - m < m - 1 when t < 2m - 1.
+		if rest := dropTwo(v.members, lPos, rPos); len(rest) > 0 {
+			newCG.views = append(newCG.views, v.withMembers(rest))
+		}
+
+	default:
+		// t < m: the group alone cannot report; insert its two extreme
+		// halfplanes (the 1-D hull) and defer the rest.
+		if t == 1 {
+			h := hsOf(0)
+			r.apply2D(c, h, h, func(leaf *celltree.Cell, inH, _ bool) {
+				bump(leaf, inH)
+			})
+		} else {
+			h1, ht := hsOf(0), hsOf(t-1)
+			r.apply2D(c, h1, ht, func(leaf *celltree.Cell, in1, inT bool) {
+				bump(leaf, in1)
+				bump(leaf, inT)
+			})
+			if t > 2 {
+				newCG.views = append(newCG.views, v.withMembers(v.members[1:t-1]))
+			}
+		}
+	}
+	return newCG
+}
+
+// bump adds one covering (in=true) or excluding user to the leaf.
+func bump(leaf *celltree.Cell, in bool) {
+	if in {
+		leaf.InCount++
+	} else {
+		leaf.OutCount++
+	}
+}
+
+// dropTwo removes the members at the two given positions (which may
+// coincide).
+func dropTwo(members []int, a, b int) []int {
+	out := make([]int, 0, len(members))
+	for pos, m := range members {
+		if pos == a || pos == b {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// dropPositions removes members[lo..hi] (inclusive positions).
+func dropPositions(members []int, lo, hi int) []int {
+	out := make([]int, 0, len(members)-(hi-lo+1))
+	out = append(out, members[:lo]...)
+	out = append(out, members[hi+1:]...)
+	return out
+}
+
+// apply2D partitions the leaf c by the boundaries of ha and hb (skipping
+// duplicates and conclusive sides) and invokes f on every resulting active
+// leaf with its in/out relation to each halfspace. Identical halfspaces
+// (ha == hb by pointer-free value) are handled naturally: the second
+// classification is conclusive after the first split.
+func (r *aaRun) apply2D(c *celltree.Cell, ha, hb geom.Halfspace, f func(leaf *celltree.Cell, inA, inB bool)) {
+	if c.Status != celltree.Active {
+		return
+	}
+	switch c.Classify(ha, r.fast()) {
+	case geom.Covers:
+		r.apply2Db(c, hb, true, f)
+	case geom.Excludes:
+		r.apply2Db(c, hb, false, f)
+	default:
+		l, rr := r.tr.SplitBy(c, ha)
+		if rr.Status == celltree.Active {
+			r.apply2Db(rr, hb, true, f)
+		}
+		if l.Status == celltree.Active {
+			r.apply2Db(l, hb, false, f)
+		}
+	}
+}
+
+// apply2Db handles the second halfspace once the relation to the first is
+// known.
+func (r *aaRun) apply2Db(c *celltree.Cell, hb geom.Halfspace, inA bool, f func(leaf *celltree.Cell, inA, inB bool)) {
+	if c.Status != celltree.Active {
+		return
+	}
+	switch c.Classify(hb, r.fast()) {
+	case geom.Covers:
+		f(c, inA, true)
+	case geom.Excludes:
+		f(c, inA, false)
+	default:
+		l, rr := r.tr.SplitBy(c, hb)
+		if rr.Status == celltree.Active {
+			f(rr, inA, true)
+		}
+		if l.Status == celltree.Active {
+			f(l, inA, false)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// WriteVectors writes one vector per CSV row.
+func WriteVectors(w io.Writer, vs []geom.Vector) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 0, 8)
+	for _, v := range vs {
+		rec = rec[:0]
+		for _, x := range v {
+			rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("data: write vector: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadVectors reads vectors (one per CSV row); all rows must have the same
+// number of columns.
+func ReadVectors(r io.Reader) ([]geom.Vector, error) {
+	cr := csv.NewReader(r)
+	var out []geom.Vector
+	dim := -1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: read vector: %w", err)
+		}
+		if dim < 0 {
+			dim = len(rec)
+		} else if len(rec) != dim {
+			return nil, fmt.Errorf("data: row %d has %d columns, want %d",
+				len(out)+1, len(rec), dim)
+		}
+		v := make(geom.Vector, len(rec))
+		for j, s := range rec {
+			x, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: row %d col %d: %w", len(out)+1, j, err)
+			}
+			v[j] = x
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// WriteUsers writes user preferences as CSV rows of k followed by the
+// weight coordinates.
+func WriteUsers(w io.Writer, users []topk.UserPref) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 0, 9)
+	for _, u := range users {
+		rec = rec[:0]
+		rec = append(rec, strconv.Itoa(u.K))
+		for _, x := range u.W {
+			rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("data: write user: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadUsers reads user preferences written by WriteUsers.
+func ReadUsers(r io.Reader) ([]topk.UserPref, error) {
+	cr := csv.NewReader(r)
+	var out []topk.UserPref
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: read user: %w", err)
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("data: user row %d too short", len(out)+1)
+		}
+		k, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("data: user row %d k: %w", len(out)+1, err)
+		}
+		w := make(geom.Vector, len(rec)-1)
+		for j, s := range rec[1:] {
+			x, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: user row %d col %d: %w", len(out)+1, j+1, err)
+			}
+			w[j] = x
+		}
+		out = append(out, topk.UserPref{W: w, K: k})
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+func inUnitBox(t *testing.T, name string, ps []geom.Vector, d int) {
+	t.Helper()
+	for i, p := range ps {
+		if len(p) != d {
+			t.Fatalf("%s: point %d has dim %d, want %d", name, i, len(p), d)
+		}
+		for j, x := range p {
+			if x < 0 || x > 1 {
+				t.Fatalf("%s: point %d coord %d = %g out of [0,1]", name, i, j, x)
+			}
+		}
+	}
+}
+
+func onSimplex(t *testing.T, name string, ws []geom.Vector, d int) {
+	t.Helper()
+	for i, w := range ws {
+		if len(w) != d {
+			t.Fatalf("%s: user %d has dim %d, want %d", name, i, len(w), d)
+		}
+		s := 0.0
+		for _, x := range w {
+			if x < -1e-12 {
+				t.Fatalf("%s: user %d has negative weight %g", name, i, x)
+			}
+			s += x
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("%s: user %d weights sum to %g", name, i, s)
+		}
+	}
+}
+
+// pearson computes the average pairwise attribute correlation.
+func pearson(ps []geom.Vector, a, b int) float64 {
+	n := float64(len(ps))
+	var ma, mb float64
+	for _, p := range ps {
+		ma += p[a]
+		mb += p[b]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for _, p := range ps {
+		cov += (p[a] - ma) * (p[b] - mb)
+		va += (p[a] - ma) * (p[a] - ma)
+		vb += (p[b] - mb) * (p[b] - mb)
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestGeneratorsRangeAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inUnitBox(t, "IND", Independent(rng, 500, 4), 4)
+	inUnitBox(t, "COR", Correlated(rng, 500, 4), 4)
+	inUnitBox(t, "ANTI", AntiCorrelated(rng, 500, 4), 4)
+	onSimplex(t, "CL", ClusteredUsers(rng, 500, 4, 5, 0.05), 4)
+	onSimplex(t, "UN", UniformUsers(rng, 500, 4), 4)
+}
+
+func TestCorrelationStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, d := 5000, 3
+	cor := Correlated(rng, n, d)
+	ind := Independent(rng, n, d)
+	anti := AntiCorrelated(rng, n, d)
+	rCor := pearson(cor, 0, 1)
+	rInd := pearson(ind, 0, 1)
+	rAnti := pearson(anti, 0, 1)
+	if rCor < 0.5 {
+		t.Errorf("COR correlation = %g, want strongly positive", rCor)
+	}
+	if math.Abs(rInd) > 0.1 {
+		t.Errorf("IND correlation = %g, want near zero", rInd)
+	}
+	if rAnti > -0.2 {
+		t.Errorf("ANTI correlation = %g, want negative", rAnti)
+	}
+}
+
+// TestCorrelationAffectsSkyband: anti-correlated data must have a much
+// larger skyband than correlated data — the property driving the paper's
+// Figure 10a (365 vs 95 groups).
+func TestCorrelationAffectsSkyband(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, d, k := 20000, 3, 10
+	cor := len(topk.Skyband(Correlated(rng, n, d), k))
+	anti := len(topk.Skyband(AntiCorrelated(rng, n, d), k))
+	if anti <= cor {
+		t.Errorf("skyband sizes: ANTI %d <= COR %d; expected ANTI much larger", anti, cor)
+	}
+}
+
+func TestClusteredUsersCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	us := ClusteredUsers(rng, 1000, 3, 5, 0.05)
+	// Users i and i+5 share a cluster; the average distance within a
+	// cluster should be far below the global average distance.
+	var within, across float64
+	nw, na := 0, 0
+	for i := 0; i+5 < 200; i++ {
+		within += us[i].Dist(us[i+5])
+		nw++
+	}
+	for i := 0; i < 200; i++ {
+		across += us[i].Dist(us[(i+1)%1000])
+		na++
+	}
+	if within/float64(nw) > across/float64(na) {
+		t.Errorf("within-cluster dist %g not below global %g",
+			within/float64(nw), across/float64(na))
+	}
+}
+
+func TestTripAdvisorShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps, ws := TripAdvisor(rng, 200, 500)
+	inUnitBox(t, "TA products", ps, TripAdvisorDims)
+	onSimplex(t, "TA users", ws, TripAdvisorDims)
+	if r := pearson(ps, 0, 3); r < 0.3 {
+		t.Errorf("TA aspect correlation = %g, want positive", r)
+	}
+	// Ratings skew high.
+	mean := 0.0
+	for _, p := range ps {
+		mean += p.Sum() / float64(len(p))
+	}
+	mean /= float64(len(ps))
+	if mean < 0.6 {
+		t.Errorf("TA mean rating = %g, want skewed high", mean)
+	}
+}
+
+func TestTripAdvisorProjected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ps, ws := TripAdvisorProjected(rng, 100, 200, []int{1, 2}) // room-location
+	inUnitBox(t, "TA2 products", ps, 2)
+	onSimplex(t, "TA2 users", ws, 2)
+}
+
+func TestRealStandIns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inUnitBox(t, "HOTEL", HotelSet(rng, 300), HotelD)
+	inUnitBox(t, "HOUSE", HouseSet(rng, 300), HouseD)
+	inUnitBox(t, "NBA", NBASet(rng, 300), NBAD)
+}
+
+func TestKAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ws := UniformUsers(rng, 100, 3)
+	for _, u := range WithK(ws, 7) {
+		if u.K != 7 {
+			t.Fatalf("WithK: k = %d", u.K)
+		}
+	}
+	for _, u := range WithUniformK(rng, ws, 1, 20) {
+		if u.K < 1 || u.K >= 20 {
+			t.Fatalf("WithUniformK: k = %d out of [1,20)", u.K)
+		}
+	}
+	seen := map[int]bool{}
+	for _, u := range WithNormalK(rng, ws, 10, 5, 40) {
+		if u.K < 1 || u.K > 40 {
+			t.Fatalf("WithNormalK: k = %d out of range", u.K)
+		}
+		seen[u.K] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("WithNormalK produced only %d distinct k values", len(seen))
+	}
+}
+
+func TestGammaDrawMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, alpha := range []float64{0.3, 0.7, 1.5} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += gammaDraw(rng, alpha)
+		}
+		mean := sum / n
+		if math.Abs(mean-alpha) > 0.05*math.Max(1, alpha) {
+			t.Errorf("Gamma(%g) sample mean = %g", alpha, mean)
+		}
+	}
+}
+
+func TestCSVRoundTripVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ps := Independent(rng, 50, 4)
+	var buf bytes.Buffer
+	if err := WriteVectors(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVectors(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ps) {
+		t.Fatalf("round trip: %d vs %d", len(back), len(ps))
+	}
+	for i := range ps {
+		if !ps[i].AlmostEqual(back[i], 0) {
+			t.Fatalf("vector %d differs: %v vs %v", i, ps[i], back[i])
+		}
+	}
+}
+
+func TestCSVRoundTripUsers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	us := WithUniformK(rng, UniformUsers(rng, 30, 3), 1, 10)
+	var buf bytes.Buffer
+	if err := WriteUsers(&buf, us); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUsers(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range us {
+		if back[i].K != us[i].K || !back[i].W.AlmostEqual(us[i].W, 0) {
+			t.Fatalf("user %d differs", i)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadVectors(bytes.NewBufferString("1,2\n3\n")); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if _, err := ReadVectors(bytes.NewBufferString("1,abc\n")); err == nil {
+		t.Error("non-numeric should error")
+	}
+	if _, err := ReadUsers(bytes.NewBufferString("x,0.5,0.5\n")); err == nil {
+		t.Error("bad k should error")
+	}
+}

@@ -1,0 +1,200 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"mir/internal/geom"
+)
+
+// The paper evaluates on one real preference dataset (TripAdvisor) and
+// three real product sets (HOTEL, HOUSE, NBA). None are redistributable
+// here, so this file provides synthetic stand-ins that preserve the
+// properties the experiments exercise: cardinality, dimensionality, and
+// correlation structure. DESIGN.md documents each substitution.
+
+// TripAdvisorDims is the number of rating aspects the TripAdvisor dataset
+// carries per hotel (value, room, location, cleanliness, front desk,
+// service, business service).
+const TripAdvisorDims = 7
+
+// TripAdvisorHotels and TripAdvisorUsers are the cardinalities of the
+// paper's TA dataset.
+const (
+	TripAdvisorHotels = 1850
+	TripAdvisorUsers  = 137563
+)
+
+// TripAdvisor generates a TA-like dataset: nHotels hotels with 7 strongly
+// correlated aspect ratings skewed toward the top of the scale (real
+// review ratings cluster high, and a hotel good at one aspect tends to be
+// good at all), and nUsers preference vectors mimicking weights extracted
+// from review text: sparse emphasis on a few aspects, clustered around a
+// handful of reviewer archetypes.
+func TripAdvisor(rng *rand.Rand, nHotels, nUsers int) (products, weights []geom.Vector) {
+	const d = TripAdvisorDims
+	products = make([]geom.Vector, nHotels)
+	for i := range products {
+		// Overall hotel quality: skewed toward the upper-middle of the
+		// scale (triangular on [0.45, 0.95]), like averaged star ratings;
+		// only a thin tail reaches the top of the scale.
+		q := 0.45 + 0.5*(rng.Float64()+rng.Float64())/2
+		p := make(geom.Vector, d)
+		// Room (1) and location (2) share an extra noise component beyond
+		// the hotel-wide quality factor: premises and neighbourhood rise
+		// and fall together more than, say, cleanliness and front desk do.
+		// The paper's Figure 7 case study contrasts exactly these pairs.
+		shared := rng.NormFloat64() * 0.07
+		for j := range p {
+			e := rng.NormFloat64() * 0.08
+			if j == 1 || j == 2 {
+				e = shared + rng.NormFloat64()*0.04
+			}
+			p[j] = softClamp(rng, q+e)
+		}
+		products[i] = p
+	}
+
+	// Reviewer archetypes: a business traveller weighs location and
+	// service; a budget traveller weighs value; etc. Modeled as sparse
+	// Dirichlet draws used as mixture centers.
+	const nArchetypes = 8
+	centers := make([]geom.Vector, nArchetypes)
+	for a := range centers {
+		centers[a] = sparseDirichlet(rng, d, 0.4)
+	}
+	weights = make([]geom.Vector, nUsers)
+	for i := range weights {
+		c := centers[rng.Intn(nArchetypes)]
+		own := sparseDirichlet(rng, d, 0.6)
+		w := make(geom.Vector, d)
+		for j := range w {
+			w[j] = 0.65*c[j] + 0.35*own[j]
+		}
+		weights[i] = normalizeSimplex(w)
+	}
+	return products, weights
+}
+
+// TripAdvisorProjected returns the TA-like dataset restricted to a chosen
+// pair (or any subset) of the 7 aspects, renormalizing user weights over
+// the kept aspects — the construction behind the paper's Figure 7 case
+// study ("room-location space", "cleanliness-front desk space").
+func TripAdvisorProjected(rng *rand.Rand, nHotels, nUsers int, dims []int) (products, weights []geom.Vector) {
+	fullP, fullW := TripAdvisor(rng, nHotels, nUsers)
+	products = make([]geom.Vector, len(fullP))
+	for i, p := range fullP {
+		q := make(geom.Vector, len(dims))
+		for t, j := range dims {
+			q[t] = p[j]
+		}
+		products[i] = q
+	}
+	weights = make([]geom.Vector, len(fullW))
+	for i, w := range fullW {
+		q := make(geom.Vector, len(dims))
+		for t, j := range dims {
+			q[t] = w[j]
+		}
+		weights[i] = normalizeSimplex(q)
+	}
+	return products, weights
+}
+
+// sparseDirichlet draws from a symmetric Dirichlet with concentration
+// alpha < 1, yielding weight vectors dominated by a few coordinates — the
+// shape of aspect weights mined from review text.
+func sparseDirichlet(rng *rand.Rand, d int, alpha float64) geom.Vector {
+	w := make(geom.Vector, d)
+	s := 0.0
+	for j := range w {
+		g := gammaDraw(rng, alpha)
+		w[j] = g
+		s += g
+	}
+	if s <= 0 {
+		return simplexUniform(rng, d)
+	}
+	for j := range w {
+		w[j] /= s
+	}
+	return w
+}
+
+// gammaDraw samples Gamma(alpha, 1) for alpha <= 1 via the Ahrens-Dieter
+// rejection method (sufficient for Dirichlet draws; alpha > 1 falls back
+// to a sum of exponentials approximation, unused here).
+func gammaDraw(rng *rand.Rand, alpha float64) float64 {
+	if alpha >= 1 {
+		// Sum of floor(alpha) exponentials plus fractional part.
+		g := 0.0
+		for i := 0; i < int(alpha); i++ {
+			g += rng.ExpFloat64()
+		}
+		if frac := alpha - float64(int(alpha)); frac > 1e-12 {
+			g += gammaDraw(rng, frac)
+		}
+		return g
+	}
+	// Ahrens-Dieter GS algorithm.
+	for {
+		u := rng.Float64()
+		b := (alpha + math.E) / math.E
+		p := b * u
+		if p <= 1 {
+			x := math.Pow(p, 1/alpha)
+			if rng.ExpFloat64() >= x {
+				return x
+			}
+		} else {
+			x := -math.Log((b - p) / alpha)
+			if rng.ExpFloat64() >= (1-alpha)*math.Log(x) {
+				return x
+			}
+		}
+	}
+}
+
+// HotelDefaults, HouseDefaults, NBADefaults mirror the cardinalities and
+// dimensionalities of the paper's three real product sets.
+const (
+	HotelN, HotelD = 418843, 4
+	HouseN, HouseD = 315265, 6
+	NBAN, NBAD     = 21960, 8
+)
+
+// HotelSet generates a stand-in for the HOTEL dataset: n hotel records
+// with d = 4 mildly correlated attributes (stars, price value, etc.).
+func HotelSet(rng *rand.Rand, n int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		base := rng.Float64()
+		p := make(geom.Vector, HotelD)
+		for j := range p {
+			p[j] = softClamp(rng, 0.5*base+0.5*rng.Float64())
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// HouseSet generates a stand-in for the HOUSE dataset: n household
+// expenditure records with d = 6 near-independent attributes.
+func HouseSet(rng *rand.Rand, n int) []geom.Vector {
+	return Independent(rng, n, HouseD)
+}
+
+// NBASet generates a stand-in for the NBA dataset: n player-season records
+// with d = 8 attributes correlated through overall player skill.
+func NBASet(rng *rand.Rand, n int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		skill := rng.Float64()
+		p := make(geom.Vector, NBAD)
+		for j := range p {
+			p[j] = softClamp(rng, 0.6*skill+0.4*rng.Float64()+rng.NormFloat64()*0.05)
+		}
+		ps[i] = p
+	}
+	return ps
+}

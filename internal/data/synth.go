@@ -1,0 +1,203 @@
+// Package data provides the dataset substrate for the mIR evaluation:
+// the three synthetic product distributions standard in multi-criteria
+// benchmarking (independent, correlated, anti-correlated; Börzsönyi et
+// al.), the clustered and uniform user-vector generators used in the
+// paper, synthetic stand-ins for the paper's real datasets (TripAdvisor,
+// HOTEL, HOUSE, NBA — see DESIGN.md for the substitution rationale), and
+// CSV persistence.
+//
+// All attributes are normalized to [0,1] with larger values better; user
+// weight vectors lie on the unit simplex.
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// softClamp confines x to (0, 1) without creating probability mass at the
+// boundaries: out-of-range values are folded into a thin random band just
+// inside. Hard clamping would make many products share attribute value
+// exactly 1.0, turning the top corner itself into a top-k-th product and
+// degenerating influential halfspaces to measure-zero sets — an artifact
+// real rating data does not exhibit.
+func softClamp(rng *rand.Rand, x float64) float64 {
+	const edge = 0.996
+	if x >= edge {
+		return edge + (1-edge)*rng.Float64()*0.9
+	}
+	if x <= 1-edge {
+		return (1 - edge) * (0.1 + 0.9*rng.Float64())
+	}
+	return x
+}
+
+// Independent generates n products with i.i.d. uniform attributes (IND).
+func Independent(rng *rand.Rand, n, d int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// Correlated generates n products whose attributes are positively
+// correlated (COR): a product good in one attribute tends to be good in
+// the others. Points concentrate around the main diagonal of the space.
+func Correlated(rng *rand.Rand, n, d int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		// Base quality peaked mid-scale (triangular), small per-attribute jitter.
+		base := (rng.Float64() + rng.Float64()) / 2
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = softClamp(rng, base+rng.NormFloat64()*0.05)
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// AntiCorrelated generates n products whose attributes trade off against
+// each other (ANTI): points concentrate near a hyperplane of constant
+// attribute sum, with strong negative correlation between attributes.
+func AntiCorrelated(rng *rand.Rand, n, d int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		total := float64(d) * clamp01(0.5+rng.NormFloat64()*0.05)
+		// Split the total across attributes via a uniform Dirichlet draw.
+		parts := make([]float64, d)
+		s := 0.0
+		for j := range parts {
+			parts[j] = rng.ExpFloat64()
+			s += parts[j]
+		}
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = softClamp(rng, total*parts[j]/s)
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// simplexUniform draws a weight vector uniformly from the unit simplex.
+func simplexUniform(rng *rand.Rand, d int) geom.Vector {
+	w := make(geom.Vector, d)
+	s := 0.0
+	for j := range w {
+		w[j] = rng.ExpFloat64()
+		s += w[j]
+	}
+	for j := range w {
+		w[j] /= s
+	}
+	return w
+}
+
+// normalizeSimplex clamps negatives to zero and rescales to sum one. A
+// degenerate all-zero vector falls back to the uniform weight.
+func normalizeSimplex(w geom.Vector) geom.Vector {
+	s := 0.0
+	for j := range w {
+		if w[j] < 0 {
+			w[j] = 0
+		}
+		s += w[j]
+	}
+	if s <= 0 {
+		for j := range w {
+			w[j] = 1 / float64(len(w))
+		}
+		return w
+	}
+	for j := range w {
+		w[j] /= s
+	}
+	return w
+}
+
+// ClusteredUsers generates n user weight vectors forming nClusters Gaussian
+// clusters of equal size with per-coordinate standard deviation sigma (CL).
+// The paper's setting is 5 clusters with sigma = 0.05.
+func ClusteredUsers(rng *rand.Rand, n, d, nClusters int, sigma float64) []geom.Vector {
+	centers := make([]geom.Vector, nClusters)
+	for i := range centers {
+		centers[i] = simplexUniform(rng, d)
+	}
+	us := make([]geom.Vector, n)
+	for i := range us {
+		c := centers[i%nClusters]
+		w := make(geom.Vector, d)
+		for j := range w {
+			w[j] = c[j] + rng.NormFloat64()*sigma
+		}
+		us[i] = normalizeSimplex(w)
+	}
+	return us
+}
+
+// UniformUsers generates n user weight vectors uniformly distributed on the
+// unit simplex (UN).
+func UniformUsers(rng *rand.Rand, n, d int) []geom.Vector {
+	us := make([]geom.Vector, n)
+	for i := range us {
+		us[i] = simplexUniform(rng, d)
+	}
+	return us
+}
+
+// WithK attaches the same k to every weight vector, producing the user
+// preference records consumed by the top-k engine.
+func WithK(weights []geom.Vector, k int) []topk.UserPref {
+	us := make([]topk.UserPref, len(weights))
+	for i, w := range weights {
+		us[i] = topk.UserPref{W: w, K: k}
+	}
+	return us
+}
+
+// WithUniformK attaches to each user a k drawn uniformly from [lo, hi)
+// (the paper's Figure 17b "uniform" diversity setting).
+func WithUniformK(rng *rand.Rand, weights []geom.Vector, lo, hi int) []topk.UserPref {
+	us := make([]topk.UserPref, len(weights))
+	for i, w := range weights {
+		us[i] = topk.UserPref{W: w, K: lo + rng.Intn(hi-lo)}
+	}
+	return us
+}
+
+// WithNormalK attaches to each user a k drawn from a normal distribution
+// with the given mean and standard deviation, truncated to [1, max]
+// (Figure 17b "normal" setting).
+func WithNormalK(rng *rand.Rand, weights []geom.Vector, mean, stddev float64, max int) []topk.UserPref {
+	us := make([]topk.UserPref, len(weights))
+	for i, w := range weights {
+		k := int(math.Round(mean + rng.NormFloat64()*stddev))
+		if k < 1 {
+			k = 1
+		}
+		if k > max {
+			k = max
+		}
+		us[i] = topk.UserPref{W: w, K: k}
+	}
+	return us
+}

@@ -1,0 +1,67 @@
+package geom
+
+import (
+	"sync"
+
+	"mir/internal/lp"
+)
+
+// feaserScratch bundles a dual-simplex feasibility solver with the
+// row-pointer buffers needed to present a polytope's constraints to it
+// without copying coefficient vectors.
+type feaserScratch struct {
+	f   lp.Feaser
+	ws  [][]float64
+	ts  []float64
+	neg []float64 // scratch for negated coefficient rows
+}
+
+var feaserPool = sync.Pool{New: func() any { return new(feaserScratch) }}
+
+// load fills the scratch buffers with the polytope's constraints plus any
+// extra halfspaces.
+func (s *feaserScratch) load(p *Polytope, extra ...Halfspace) {
+	s.ws = s.ws[:0]
+	s.ts = s.ts[:0]
+	for _, h := range p.Hs {
+		s.ws = append(s.ws, h.W)
+		s.ts = append(s.ts, h.T)
+	}
+	for _, h := range extra {
+		s.ws = append(s.ws, h.W)
+		s.ts = append(s.ts, h.T)
+	}
+}
+
+// solve runs the dual-simplex feasibility test on the currently loaded
+// rows, falling back to the robust two-phase solver when the pivot budget
+// is exceeded. The loaded rows may extend beyond a polytope's own
+// constraints (extra rows appended by the caller); the fallback rebuilds
+// the program from the loaded rows directly.
+func (s *feaserScratch) solve(dim int) bool {
+	feas, ok := s.f.FeasibleGE(dim, s.ws, s.ts)
+	if ok {
+		return feas
+	}
+	// Robust fallback (never hit in practice): rebuild A x <= b from the
+	// loaded rows.
+	A := make([][]float64, len(s.ws))
+	b := make([]float64, len(s.ws))
+	for i := range s.ws {
+		row := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			row[j] = -s.ws[i][j]
+		}
+		A[i] = row
+		b[i] = -s.ts[i]
+	}
+	got, _ := lp.Feasible(A, b)
+	return got
+}
+
+// feasible reports whether the polytope (intersected with the orthant)
+// has a point.
+func (s *feaserScratch) feasible(p *Polytope, extra ...Halfspace) bool {
+	s.load(p, extra...)
+	return s.solve(p.Dim)
+}

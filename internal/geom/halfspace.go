@@ -1,0 +1,34 @@
+package geom
+
+import "fmt"
+
+// Halfspace is the closed region {x : W·x >= T}. In mIR, the influential
+// halfspace of user w with top-k-th score t is Halfspace{W: w, T: t}: the
+// part of product space where a product enters the user's top-k result.
+type Halfspace struct {
+	W Vector
+	T float64
+}
+
+// Eval returns W·x - T: positive inside, negative outside, ~0 on the
+// boundary hyperplane.
+func (h Halfspace) Eval(x Vector) float64 { return h.W.Dot(x) - h.T }
+
+// Contains reports whether x lies in the closed halfspace (within Eps).
+func (h Halfspace) Contains(x Vector) bool { return h.Eval(x) >= -Eps }
+
+// StrictlyContains reports whether x lies strictly inside (beyond Eps of
+// the boundary).
+func (h Halfspace) StrictlyContains(x Vector) bool { return h.Eval(x) > Eps }
+
+// Flip returns the closed complement {x : W·x <= T}, represented with
+// negated coefficients as {-W·x >= -T}. The shared boundary hyperplane
+// belongs to both halves; the mIR algorithms treat it as measure zero.
+func (h Halfspace) Flip() Halfspace {
+	return Halfspace{W: h.W.Scale(-1), T: -h.T}
+}
+
+// String renders the halfspace inequality.
+func (h Halfspace) String() string {
+	return fmt.Sprintf("{x : %v·x >= %.4f}", h.W, h.T)
+}

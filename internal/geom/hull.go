@@ -1,0 +1,183 @@
+package geom
+
+import (
+	"sort"
+
+	"mir/internal/lp"
+)
+
+// ExtremePoints returns the indices of the points of pts that are vertices
+// of the convex hull conv(pts), in arbitrary dimension.
+//
+// The result V satisfies conv(V) = conv(pts), which is the property Lemmas
+// 3 and 4 of the paper require. Borderline points (on a hull facet) may be
+// conservatively included; that enlarges V without breaking conv(V) =
+// conv(pts).
+//
+// Dimensions 1 and 2 use direct methods (min/max scan, Andrew's monotone
+// chain); higher dimensions use one small linear program per point ("is
+// pts[i] a convex combination of the others?"), replacing the qhull
+// dependency of the original implementation.
+func ExtremePoints(pts []Vector) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if n <= 2 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	switch len(pts[0]) {
+	case 1:
+		return extreme1D(pts)
+	case 2:
+		return extreme2D(pts)
+	default:
+		return extremeLP(pts)
+	}
+}
+
+// extreme1D returns the argmin and argmax of one-dimensional points.
+func extreme1D(pts []Vector) []int {
+	lo, hi := 0, 0
+	for i, p := range pts {
+		if p[0] < pts[lo][0] {
+			lo = i
+		}
+		if p[0] > pts[hi][0] {
+			hi = i
+		}
+	}
+	if lo == hi {
+		return []int{lo}
+	}
+	return []int{lo, hi}
+}
+
+// extreme2D runs Andrew's monotone chain. Collinear boundary points are
+// retained (safe over-approximation of the vertex set).
+func extreme2D(pts []Vector) []int {
+	n := len(pts)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	cross := func(o, a, b Vector) float64 {
+		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	}
+	build := func(seq []int) []int {
+		var hull []int
+		for _, i := range seq {
+			for len(hull) >= 2 &&
+				cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[i]) < -Eps {
+				hull = hull[:len(hull)-1]
+			}
+			hull = append(hull, i)
+		}
+		return hull
+	}
+	lower := build(order)
+	rev := make([]int, n)
+	for i := range order {
+		rev[i] = order[n-1-i]
+	}
+	upper := build(rev)
+	seen := make(map[int]bool, len(lower)+len(upper))
+	var out []int
+	for _, i := range lower {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	for _, i := range upper {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// extremeLP tests each point against the hull of the remaining points.
+func extremeLP(pts []Vector) []int {
+	var out []int
+	others := make([]Vector, 0, len(pts)-1)
+	for i, p := range pts {
+		others = others[:0]
+		for j, q := range pts {
+			if j != i {
+				others = append(others, q)
+			}
+		}
+		if !InConvexHull(p, others) {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		// All points coincide (each is a combination of the duplicates);
+		// keep one representative.
+		out = append(out, 0)
+	}
+	return out
+}
+
+// InConvexHull reports whether q is a convex combination of pts. It solves
+// the feasibility program: alpha >= 0, sum(alpha) = 1, sum(alpha_j pts_j) =
+// q. Exact equalities are used, so borderline points round toward "not in
+// hull" — the safe direction for vertex-set computations.
+func InConvexHull(q Vector, pts []Vector) bool {
+	n := len(pts)
+	if n == 0 {
+		return false
+	}
+	dim := len(q)
+	// 2*(dim+1) inequality rows encode the dim+1 equalities.
+	A := make([][]float64, 0, 2*(dim+1))
+	b := make([]float64, 0, 2*(dim+1))
+	for t := 0; t < dim; t++ {
+		pos := make([]float64, n)
+		neg := make([]float64, n)
+		for j := 0; j < n; j++ {
+			pos[j] = pts[j][t]
+			neg[j] = -pts[j][t]
+		}
+		A = append(A, pos, neg)
+		b = append(b, q[t]+hullTol, -q[t]+hullTol)
+	}
+	ones := make([]float64, n)
+	negOnes := make([]float64, n)
+	for j := 0; j < n; j++ {
+		ones[j] = 1
+		negOnes[j] = -1
+	}
+	A = append(A, ones, negOnes)
+	b = append(b, 1+hullTol, -1+hullTol)
+	ok, _ := lp.Feasible(A, b)
+	return ok
+}
+
+// hullTol relaxes the convex-combination equalities by a hair so that
+// points numerically identical to a hull member are recognized as inside.
+const hullTol = 1e-9
+
+// InConvexHullIdx is InConvexHull over the subset pts[idx[0]], pts[idx[1]],
+// ... without materializing the subset.
+func InConvexHullIdx(q Vector, pts []Vector, idx []int) bool {
+	sub := make([]Vector, len(idx))
+	for i, j := range idx {
+		sub[i] = pts[j]
+	}
+	return InConvexHull(q, sub)
+}

@@ -1,0 +1,114 @@
+package geom
+
+import "math"
+
+// Polygon2D is a convex polygon in the plane with vertices in
+// counterclockwise order. It supports the two-dimensional visualizations of
+// the paper (Figures 1, 6, 7): clipping the unit square by influential
+// halfplanes and measuring the resulting regions.
+type Polygon2D struct {
+	Vs []Vector
+}
+
+// NewSquare returns the axis-aligned square [lo,hi]^2 as a polygon.
+func NewSquare(lo, hi float64) *Polygon2D {
+	return &Polygon2D{Vs: []Vector{
+		{lo, lo}, {hi, lo}, {hi, hi}, {lo, hi},
+	}}
+}
+
+// Clip returns the part of the polygon inside halfplane h (W·x >= T),
+// using the Sutherland–Hodgman algorithm. The result may be empty.
+func (pg *Polygon2D) Clip(h Halfspace) *Polygon2D {
+	n := len(pg.Vs)
+	if n == 0 {
+		return &Polygon2D{}
+	}
+	out := make([]Vector, 0, n+1)
+	for i := 0; i < n; i++ {
+		cur := pg.Vs[i]
+		nxt := pg.Vs[(i+1)%n]
+		cIn := h.Eval(cur) >= -Eps
+		nIn := h.Eval(nxt) >= -Eps
+		switch {
+		case cIn && nIn:
+			out = append(out, nxt)
+		case cIn && !nIn:
+			out = append(out, intersect2D(cur, nxt, h))
+		case !cIn && nIn:
+			out = append(out, intersect2D(cur, nxt, h), nxt)
+		}
+	}
+	return &Polygon2D{Vs: dedup2D(out)}
+}
+
+// intersect2D returns the point where segment a-b crosses the boundary of h.
+func intersect2D(a, b Vector, h Halfspace) Vector {
+	fa, fb := h.Eval(a), h.Eval(b)
+	t := fa / (fa - fb)
+	return Vector{a[0] + t*(b[0]-a[0]), a[1] + t*(b[1]-a[1])}
+}
+
+// dedup2D removes consecutive (near-)duplicate vertices.
+func dedup2D(vs []Vector) []Vector {
+	if len(vs) == 0 {
+		return vs
+	}
+	out := vs[:0]
+	for _, v := range vs {
+		if len(out) == 0 || !out[len(out)-1].AlmostEqual(v, 1e-12) {
+			out = append(out, v)
+		}
+	}
+	if len(out) > 1 && out[0].AlmostEqual(out[len(out)-1], 1e-12) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// IsEmpty reports whether the polygon has vanished (fewer than 3 vertices).
+func (pg *Polygon2D) IsEmpty() bool { return len(pg.Vs) < 3 }
+
+// Area returns the polygon's area via the shoelace formula.
+func (pg *Polygon2D) Area() float64 {
+	n := len(pg.Vs)
+	if n < 3 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		a, b := pg.Vs[i], pg.Vs[(i+1)%n]
+		s += a[0]*b[1] - b[0]*a[1]
+	}
+	return math.Abs(s) / 2
+}
+
+// Centroid returns the polygon's centroid; the zero vector when empty.
+func (pg *Polygon2D) Centroid() Vector {
+	n := len(pg.Vs)
+	if n == 0 {
+		return Vector{0, 0}
+	}
+	c := Vector{0, 0}
+	for _, v := range pg.Vs {
+		c[0] += v[0]
+		c[1] += v[1]
+	}
+	c[0] /= float64(n)
+	c[1] /= float64(n)
+	return c
+}
+
+// ClipPolytope2D converts a two-dimensional H-rep polytope to its polygon,
+// clipping the [lo,hi]^2 frame by each constraint. Used to render
+// arrangement cells.
+func ClipPolytope2D(p *Polytope, lo, hi float64) *Polygon2D {
+	pg := NewSquare(lo, hi)
+	for _, h := range p.Hs {
+		pg = pg.Clip(h)
+		if pg.IsEmpty() {
+			return pg
+		}
+	}
+	return pg
+}

@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSquareArea(t *testing.T) {
+	sq := NewSquare(0, 1)
+	if a := sq.Area(); math.Abs(a-1) > 1e-12 {
+		t.Errorf("area = %g, want 1", a)
+	}
+	if sq.IsEmpty() {
+		t.Error("square reported empty")
+	}
+}
+
+func TestClipDiagonal(t *testing.T) {
+	sq := NewSquare(0, 1)
+	// Keep x + y >= 1: upper-right triangle, area 1/2.
+	tri := sq.Clip(Halfspace{W: Vector{1, 1}, T: 1})
+	if a := tri.Area(); math.Abs(a-0.5) > 1e-9 {
+		t.Errorf("triangle area = %g, want 0.5", a)
+	}
+	// Clip the complement: also 1/2.
+	tri2 := sq.Clip(Halfspace{W: Vector{1, 1}, T: 1}.Flip())
+	if a := tri2.Area(); math.Abs(a-0.5) > 1e-9 {
+		t.Errorf("complement area = %g, want 0.5", a)
+	}
+	// Areas of the two halves sum to the square.
+	if a := tri.Area() + tri2.Area(); math.Abs(a-1) > 1e-9 {
+		t.Errorf("halves sum to %g", a)
+	}
+}
+
+func TestClipToEmpty(t *testing.T) {
+	sq := NewSquare(0, 1)
+	gone := sq.Clip(Halfspace{W: Vector{1, 1}, T: 3})
+	if !gone.IsEmpty() {
+		t.Errorf("expected empty polygon, got %d vertices", len(gone.Vs))
+	}
+	if gone.Area() != 0 {
+		t.Errorf("empty polygon area = %g", gone.Area())
+	}
+}
+
+func TestClipSequence(t *testing.T) {
+	// Clip to the band 0.25 <= x <= 0.75: area 1/2.
+	sq := NewSquare(0, 1)
+	band := sq.
+		Clip(Halfspace{W: Vector{1, 0}, T: 0.25}).
+		Clip(Halfspace{W: Vector{-1, 0}, T: -0.75})
+	if a := band.Area(); math.Abs(a-0.5) > 1e-9 {
+		t.Errorf("band area = %g, want 0.5", a)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	sq := NewSquare(0, 1)
+	c := sq.Centroid()
+	if !c.AlmostEqual(Vector{0.5, 0.5}, 1e-12) {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestClipPolytope2D(t *testing.T) {
+	p := NewBox(2, 0, 1).
+		With(Halfspace{W: Vector{1, 1}, T: 1}). // x+y >= 1
+		With(Halfspace{W: Vector{-1, 1}, T: 0}) // y >= x
+	pg := ClipPolytope2D(p, 0, 1)
+	// The region is the triangle (0.5,0.5), (1,1), (0,1): area 1/4.
+	if a := pg.Area(); math.Abs(a-0.25) > 1e-9 {
+		t.Errorf("area = %g, want 0.25", a)
+	}
+	// Empty polytope renders empty.
+	p.Append(Halfspace{W: Vector{1, 0}, T: 2})
+	if !ClipPolytope2D(p, 0, 1).IsEmpty() {
+		t.Error("expected empty render")
+	}
+}

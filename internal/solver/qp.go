@@ -1,0 +1,287 @@
+// Package solver implements the convex-optimization primitives that the
+// standing top-k influence problems (CO, IS, and their crossbreeds) reduce
+// to once the m-impact region is known: Euclidean projection onto an
+// H-representation polytope (an active-set quadratic program) and L1-cost
+// minimization (a linear program).
+//
+// The paper invokes an off-the-shelf QP solver for this step; we implement
+// a primal active-set method, which is exact and fast for the small
+// dimensionalities (d <= 8) of product spaces.
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"mir/internal/geom"
+	"mir/internal/lp"
+)
+
+// tol is the numerical tolerance for activity, multiplier signs, and
+// convergence tests.
+const tol = 1e-9
+
+// maxIter bounds active-set iterations; generous for d <= 8.
+const maxIter = 500
+
+// ErrEmpty is returned when the target polytope has no feasible point.
+var ErrEmpty = errors.New("solver: empty polytope")
+
+// ErrNumeric is returned when the active-set iteration fails to converge.
+var ErrNumeric = errors.New("solver: active-set iteration did not converge")
+
+// Project returns the point of the polytope closest (in L2) to x0, together
+// with the distance ||x* - x0||. This solves
+//
+//	min ½||x - x0||²  s.t.  x in poly.
+//
+// With x0 = 0 this is the minimum-norm point, i.e. the paper's L2
+// creation-cost optimum for CO; with x0 = p it is the cheapest upgrade
+// position for IS-style problems.
+func Project(poly *geom.Polytope, x0 geom.Vector) (geom.Vector, float64, error) {
+	d := poly.Dim
+	// Constraint rows a_i·x >= b_i: the polytope's halfspaces plus explicit
+	// non-negativity (harmlessly redundant when the polytope already bounds
+	// below).
+	rows := make([]geom.Vector, 0, len(poly.Hs)+d)
+	rhs := make([]float64, 0, len(poly.Hs)+d)
+	for _, h := range poly.Hs {
+		rows = append(rows, h.W)
+		rhs = append(rhs, h.T)
+	}
+	for i := 0; i < d; i++ {
+		e := make(geom.Vector, d)
+		e[i] = 1
+		rows = append(rows, e)
+		rhs = append(rhs, 0)
+	}
+
+	feasible := func(x geom.Vector) bool {
+		for i := range rows {
+			if rows[i].Dot(x) < rhs[i]-1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if feasible(x0) {
+		return x0.Clone(), 0, nil
+	}
+
+	x, ok := poly.FeasiblePoint()
+	if !ok {
+		return nil, 0, ErrEmpty
+	}
+
+	active := activeSet(rows, rhs, x)
+	for iter := 0; iter < maxIter; iter++ {
+		g := x0.Sub(x) // descent direction before projection
+		d0 := projectNull(g, rows, active)
+		if d0.Norm() <= tol*(1+g.Norm()) {
+			// Stationary on the active face: check KKT multipliers for
+			// grad f = x - x0 = sum(lambda_i a_i), lambda >= 0.
+			lam := multipliers(x.Sub(x0), rows, active)
+			worst, worstIdx := 0.0, -1
+			for i, l := range lam {
+				if l < worst {
+					worst = l
+					worstIdx = i
+				}
+			}
+			if worstIdx < 0 || worst > -tol {
+				return x, x.Dist(x0), nil
+			}
+			active = append(active[:worstIdx], active[worstIdx+1:]...)
+			continue
+		}
+		// Line search to the nearest blocking constraint.
+		alpha := 1.0
+		block := -1
+		for i := range rows {
+			if containsInt(active, i) {
+				continue
+			}
+			ad := rows[i].Dot(d0)
+			if ad >= -tol {
+				continue
+			}
+			a := (rhs[i] - rows[i].Dot(x)) / ad
+			if a < alpha {
+				alpha = a
+				block = i
+			}
+		}
+		if alpha < 0 {
+			alpha = 0
+		}
+		x = x.Add(d0.Scale(alpha))
+		if block >= 0 {
+			active = append(active, block)
+		}
+	}
+	return nil, 0, ErrNumeric
+}
+
+// MinNorm returns the minimum-Euclidean-norm point of the polytope: the
+// L2-cost-optimal product placement inside a region cell.
+func MinNorm(poly *geom.Polytope) (geom.Vector, float64, error) {
+	return Project(poly, make(geom.Vector, poly.Dim))
+}
+
+// activeSet returns the indices of constraints active at x.
+func activeSet(rows []geom.Vector, rhs []float64, x geom.Vector) []int {
+	var act []int
+	for i := range rows {
+		if math.Abs(rows[i].Dot(x)-rhs[i]) <= 1e-8 {
+			act = append(act, i)
+		}
+	}
+	return act
+}
+
+// projectNull projects g onto the null space of the active rows using
+// modified Gram–Schmidt; linearly dependent rows are skipped automatically.
+func projectNull(g geom.Vector, rows []geom.Vector, active []int) geom.Vector {
+	basis := orthonormalize(rows, active)
+	d := g.Clone()
+	for _, q := range basis {
+		d = d.Sub(q.Scale(d.Dot(q)))
+	}
+	return d
+}
+
+// orthonormalize returns an orthonormal basis for the span of the active
+// rows.
+func orthonormalize(rows []geom.Vector, active []int) []geom.Vector {
+	var basis []geom.Vector
+	for _, i := range active {
+		v := rows[i].Clone()
+		for _, q := range basis {
+			v = v.Sub(q.Scale(v.Dot(q)))
+		}
+		n := v.Norm()
+		if n > 1e-10 {
+			basis = append(basis, v.Scale(1/n))
+		}
+	}
+	return basis
+}
+
+// multipliers solves the least-squares system sum(lambda_i a_i) = grad for
+// the active constraints via normal equations with Gaussian elimination.
+// grad is the objective gradient x - x0 at the candidate point.
+func multipliers(grad geom.Vector, rows []geom.Vector, active []int) []float64 {
+	k := len(active)
+	if k == 0 {
+		return nil
+	}
+	// Normal equations: (A Aᵀ) λ = A grad, where A stacks active rows.
+	M := make([][]float64, k)
+	r := make([]float64, k)
+	for i := 0; i < k; i++ {
+		M[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			M[i][j] = rows[active[i]].Dot(rows[active[j]])
+		}
+		r[i] = rows[active[i]].Dot(grad)
+	}
+	lam := solveSymmetric(M, r)
+	return lam
+}
+
+// solveSymmetric solves M x = r by Gaussian elimination with partial
+// pivoting, regularizing (near-)singular pivots. M is destroyed.
+func solveSymmetric(M [][]float64, r []float64) []float64 {
+	k := len(r)
+	for col := 0; col < k; col++ {
+		// Pivot.
+		p := col
+		for i := col + 1; i < k; i++ {
+			if math.Abs(M[i][col]) > math.Abs(M[p][col]) {
+				p = i
+			}
+		}
+		M[col], M[p] = M[p], M[col]
+		r[col], r[p] = r[p], r[col]
+		piv := M[col][col]
+		if math.Abs(piv) < 1e-12 {
+			M[col][col] += 1e-10 // Tikhonov nudge for dependent rows
+			piv = M[col][col]
+		}
+		for i := col + 1; i < k; i++ {
+			f := M[i][col] / piv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < k; j++ {
+				M[i][j] -= f * M[col][j]
+			}
+			r[i] -= f * r[col]
+		}
+	}
+	x := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		s := r[i]
+		for j := i + 1; j < k; j++ {
+			s -= M[i][j] * x[j]
+		}
+		x[i] = s / M[i][i]
+	}
+	return x
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MinL1 minimizes the L1 distance sum |x_i - x0_i| over the polytope,
+// demonstrating the paper's claim that the mIR reduction extends beyond L2
+// to any cost with an available solver. It returns the minimizer and cost.
+//
+// Formulated as an LP with auxiliary variables t >= |x - x0|: variables
+// [x, t] (both non-negative by the orthant convention; x0 >= 0 keeps the
+// reformulation exact).
+func MinL1(poly *geom.Polytope, x0 geom.Vector) (geom.Vector, float64, error) {
+	d := poly.Dim
+	nv := 2 * d
+	var A [][]float64
+	var b []float64
+	// Polytope rows on x: -W·x <= -T.
+	for _, h := range poly.Hs {
+		row := make([]float64, nv)
+		for j := 0; j < d; j++ {
+			row[j] = -h.W[j]
+		}
+		A = append(A, row)
+		b = append(b, -h.T)
+	}
+	// x_i - t_i <= x0_i  and  -x_i - t_i <= -x0_i.
+	for i := 0; i < d; i++ {
+		r1 := make([]float64, nv)
+		r1[i] = 1
+		r1[d+i] = -1
+		A = append(A, r1)
+		b = append(b, x0[i])
+		r2 := make([]float64, nv)
+		r2[i] = -1
+		r2[d+i] = -1
+		A = append(A, r2)
+		b = append(b, -x0[i])
+	}
+	c := make([]float64, nv)
+	for i := 0; i < d; i++ {
+		c[d+i] = 1
+	}
+	res := lp.Minimize(c, A, b)
+	if res.Status != lp.Optimal {
+		return nil, 0, ErrEmpty
+	}
+	x := make(geom.Vector, d)
+	copy(x, res.X[:d])
+	return x, res.Obj, nil
+}

@@ -1,0 +1,216 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mir/internal/geom"
+)
+
+func TestProjectInsideIsIdentity(t *testing.T) {
+	box := geom.NewBox(3, 0, 1)
+	x0 := geom.Vector{0.3, 0.4, 0.5}
+	x, dist, err := Project(box, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != 0 || !x.AlmostEqual(x0, 1e-12) {
+		t.Errorf("Project of interior point moved it: %v (dist %g)", x, dist)
+	}
+}
+
+func TestProjectOntoBox(t *testing.T) {
+	box := geom.NewBox(2, 0, 1)
+	tests := []struct {
+		x0, want geom.Vector
+	}{
+		{geom.Vector{2, 0.5}, geom.Vector{1, 0.5}},
+		{geom.Vector{2, 2}, geom.Vector{1, 1}},
+		{geom.Vector{0.5, 3}, geom.Vector{0.5, 1}},
+	}
+	for i, tc := range tests {
+		x, dist, err := Project(box, tc.x0)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !x.AlmostEqual(tc.want, 1e-6) {
+			t.Errorf("case %d: got %v, want %v", i, x, tc.want)
+		}
+		if math.Abs(dist-tc.x0.Dist(tc.want)) > 1e-6 {
+			t.Errorf("case %d: dist = %g", i, dist)
+		}
+	}
+}
+
+func TestProjectOntoHalfspaceFace(t *testing.T) {
+	// Polytope: box intersect {x + y >= 1}. Projection of origin is the
+	// closest point of the line x + y = 1: (0.5, 0.5), distance sqrt(2)/2.
+	p := geom.NewBox(2, 0, 1).With(geom.Halfspace{W: geom.Vector{1, 1}, T: 1})
+	x, dist, err := MinNorm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.AlmostEqual(geom.Vector{0.5, 0.5}, 1e-6) {
+		t.Errorf("MinNorm = %v, want (0.5,0.5)", x)
+	}
+	if math.Abs(dist-math.Sqrt2/2) > 1e-6 {
+		t.Errorf("dist = %g, want %g", dist, math.Sqrt2/2)
+	}
+}
+
+func TestProjectVertexSolution(t *testing.T) {
+	// box intersect {x >= 0.8} intersect {y >= 0.9}: projection of origin
+	// hits the corner (0.8, 0.9).
+	p := geom.NewBox(2, 0, 1).
+		With(geom.Halfspace{W: geom.Vector{1, 0}, T: 0.8}).
+		With(geom.Halfspace{W: geom.Vector{0, 1}, T: 0.9})
+	x, _, err := MinNorm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.AlmostEqual(geom.Vector{0.8, 0.9}, 1e-6) {
+		t.Errorf("MinNorm = %v, want (0.8,0.9)", x)
+	}
+}
+
+func TestProjectEmpty(t *testing.T) {
+	p := geom.NewBox(2, 0, 1).With(geom.Halfspace{W: geom.Vector{1, 1}, T: 5})
+	if _, _, err := MinNorm(p); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+// TestProjectRandomOptimality cross-checks the active-set result against
+// rejection-sampled competitors on random polytopes in 2..5 dimensions.
+func TestProjectRandomOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		d := 2 + rng.Intn(4)
+		p := geom.NewBox(d, 0, 1)
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			w := make(geom.Vector, d)
+			for j := range w {
+				w[j] = rng.Float64()
+			}
+			s := w.Sum()
+			for j := range w {
+				w[j] /= s
+			}
+			p.Append(geom.Halfspace{W: w, T: 0.3 + 0.4*rng.Float64()})
+		}
+		x0 := make(geom.Vector, d)
+		for j := range x0 {
+			x0[j] = rng.Float64() * 0.3 // usually outside the constrained region
+		}
+		x, dist, err := Project(p, x0)
+		if err == ErrEmpty {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !p.ContainsPoint(x) {
+			// allow boundary tolerance
+			for _, h := range p.Hs {
+				if h.Eval(x) < -1e-6 {
+					t.Fatalf("trial %d: projection %v violates %v by %g",
+						trial, x, h, -h.Eval(x))
+				}
+			}
+		}
+		for probe := 0; probe < 4000; probe++ {
+			y := make(geom.Vector, d)
+			for j := range y {
+				y[j] = rng.Float64()
+			}
+			if !p.ContainsPoint(y) {
+				continue
+			}
+			if y.Dist(x0) < dist-1e-6 {
+				t.Fatalf("trial %d: sampled %v closer (%g) than projection (%g)",
+					trial, y, y.Dist(x0), dist)
+			}
+		}
+	}
+}
+
+func TestMinL1(t *testing.T) {
+	// Over box intersect {x + y >= 1}, the L1 projection of the origin has
+	// cost 1 (anywhere on the segment).
+	p := geom.NewBox(2, 0, 1).With(geom.Halfspace{W: geom.Vector{1, 1}, T: 1})
+	x, cost, err := MinL1(p, geom.Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-1) > 1e-7 {
+		t.Errorf("L1 cost = %g, want 1", cost)
+	}
+	if !p.ContainsPoint(x) {
+		t.Errorf("L1 minimizer %v infeasible", x)
+	}
+
+	// Interior start: zero cost.
+	_, cost, err = MinL1(geom.NewBox(2, 0, 1), geom.Vector{0.5, 0.5})
+	if err != nil || cost > 1e-9 {
+		t.Errorf("interior L1 cost = %g (err %v)", cost, err)
+	}
+
+	// Empty polytope errors.
+	empty := geom.NewBox(2, 0, 1).With(geom.Halfspace{W: geom.Vector{1, 0}, T: 3})
+	if _, _, err := MinL1(empty, geom.Vector{0, 0}); err == nil {
+		t.Error("expected error on empty polytope")
+	}
+}
+
+// TestMinL1VsSampling cross-checks L1 optimality by sampling.
+func TestMinL1VsSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(3)
+		p := geom.NewBox(d, 0, 1)
+		w := make(geom.Vector, d)
+		for j := range w {
+			w[j] = 0.2 + rng.Float64()
+		}
+		s := w.Sum()
+		for j := range w {
+			w[j] /= s
+		}
+		p.Append(geom.Halfspace{W: w, T: 0.5 + 0.3*rng.Float64()})
+		x0 := make(geom.Vector, d)
+		_, cost, err := MinL1(p, x0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		l1 := func(y geom.Vector) float64 {
+			t := 0.0
+			for j := range y {
+				t += math.Abs(y[j] - x0[j])
+			}
+			return t
+		}
+		for probe := 0; probe < 3000; probe++ {
+			y := make(geom.Vector, d)
+			for j := range y {
+				y[j] = rng.Float64()
+			}
+			if p.ContainsPoint(y) && l1(y) < cost-1e-6 {
+				t.Fatalf("trial %d: sampled L1 %g beats %g", trial, l1(y), cost)
+			}
+		}
+	}
+}
+
+func BenchmarkProjectD4(b *testing.B) {
+	p := geom.NewBox(4, 0, 1).
+		With(geom.Halfspace{W: geom.Vector{0.25, 0.25, 0.25, 0.25}, T: 0.7}).
+		With(geom.Halfspace{W: geom.Vector{0.4, 0.3, 0.2, 0.1}, T: 0.6})
+	x0 := make(geom.Vector, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Project(p, x0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

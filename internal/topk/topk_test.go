@@ -1,0 +1,242 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mir/internal/geom"
+)
+
+func randomProducts(rng *rand.Rand, n, d int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		ps[i] = make(geom.Vector, d)
+		for j := range ps[i] {
+			ps[i][j] = rng.Float64()
+		}
+	}
+	return ps
+}
+
+func randomWeight(rng *rand.Rand, d int) geom.Vector {
+	w := make(geom.Vector, d)
+	s := 0.0
+	for j := range w {
+		w[j] = rng.Float64()
+		s += w[j]
+	}
+	for j := range w {
+		w[j] /= s
+	}
+	return w
+}
+
+// naiveTopK sorts all products by (score desc, index asc).
+func naiveTopK(products []geom.Vector, w geom.Vector, k int) []int {
+	idx := make([]int, len(products))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := w.Dot(products[idx[a]]), w.Dot(products[idx[b]])
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+func TestTopKSmall(t *testing.T) {
+	ps := []geom.Vector{
+		{0.9, 0.1}, // 0
+		{0.5, 0.5}, // 1
+		{0.1, 0.9}, // 2
+		{0.8, 0.8}, // 3
+	}
+	w := geom.Vector{0.5, 0.5}
+	got := TopK(ps, w, 2)
+	if len(got) != 2 || got[0] != 3 {
+		t.Fatalf("TopK = %v, want [3 ...]", got)
+	}
+	// Products 0, 1, 2 all score 0.5; smallest index wins second place.
+	if got[1] != 0 {
+		t.Errorf("tie-break: got %d, want 0", got[1])
+	}
+	r := KthScore(ps, w, 2)
+	if r.Index != 0 || r.Score != 0.5 {
+		t.Errorf("KthScore = %+v", r)
+	}
+}
+
+func TestTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(100)
+		d := 2 + rng.Intn(4)
+		ps := randomProducts(rng, n, d)
+		w := randomWeight(rng, d)
+		k := 1 + rng.Intn(n)
+		got := TopK(ps, w, k)
+		want := naiveTopK(ps, w, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: TopK=%v naive=%v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSkybandDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(100)
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(4)
+		ps := randomProducts(rng, n, d)
+		band := map[int]bool{}
+		for _, i := range Skyband(ps, k) {
+			band[i] = true
+		}
+		// Definition check: i in band iff dominated by fewer than k points.
+		for i := range ps {
+			dom := 0
+			for j := range ps {
+				if j != i && ps[j].Dominates(ps[i]) {
+					dom++
+				}
+			}
+			if (dom < k) != band[i] {
+				t.Fatalf("trial %d (k=%d): product %d has %d dominators, band=%v",
+					trial, k, i, dom, band[i])
+			}
+		}
+	}
+}
+
+func TestSkylineIsSkyband1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := randomProducts(rng, 200, 3)
+	a := Skyline(ps)
+	b := Skyband(ps, 1)
+	if len(a) != len(b) {
+		t.Fatalf("skyline %d vs skyband(1) %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("skyline != skyband(1)")
+		}
+	}
+}
+
+func TestSkybandMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := randomProducts(rng, 300, 4)
+	prev := map[int]bool{}
+	for k := 1; k <= 5; k++ {
+		cur := Skyband(ps, k)
+		for i := range prev {
+			found := false
+			for _, j := range cur {
+				if j == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("k=%d lost member %d of (k-1)-skyband", k, i)
+			}
+		}
+		prev = map[int]bool{}
+		for _, j := range cur {
+			prev[j] = true
+		}
+	}
+}
+
+func TestAllTopKMatchesPerUser(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(200)
+		d := 2 + rng.Intn(3)
+		ps := randomProducts(rng, n, d)
+		users := make([]UserPref, 30)
+		for i := range users {
+			users[i] = UserPref{W: randomWeight(rng, d), K: 1 + rng.Intn(10)}
+		}
+		got := AllTopK(ps, users)
+		for ui, u := range users {
+			want := KthScore(ps, u.W, u.K)
+			if got[ui].Score != want.Score {
+				t.Fatalf("trial %d user %d: score %g vs naive %g",
+					trial, ui, got[ui].Score, want.Score)
+			}
+			// The identity must agree whenever the k-th score is unique.
+			ties := 0
+			for _, p := range ps {
+				if u.W.Dot(p) == want.Score {
+					ties++
+				}
+			}
+			if ties == 1 && got[ui].Index != want.Index {
+				t.Fatalf("trial %d user %d: index %d vs naive %d",
+					trial, ui, got[ui].Index, want.Index)
+			}
+		}
+	}
+}
+
+func TestAllTopKTopCornerAlwaysWins(t *testing.T) {
+	// A product with maximal attributes must be every user's top-1, so with
+	// k=1 every user's threshold equals that product's score.
+	rng := rand.New(rand.NewSource(7))
+	ps := randomProducts(rng, 50, 3)
+	for i := range ps {
+		ps[i] = ps[i].Scale(0.9)
+	}
+	ps = append(ps, geom.Vector{1, 1, 1})
+	users := make([]UserPref, 10)
+	for i := range users {
+		users[i] = UserPref{W: randomWeight(rng, 3), K: 1}
+	}
+	for _, r := range AllTopK(ps, users) {
+		if r.Index != len(ps)-1 {
+			t.Fatalf("top corner not top-1: got %d", r.Index)
+		}
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k > |P|")
+		}
+	}()
+	TopK([]geom.Vector{{1}}, geom.Vector{1}, 2)
+}
+
+func BenchmarkSkyband1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	ps := randomProducts(rng, 100000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Skyband(ps, 10)
+	}
+}
+
+func BenchmarkAllTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomProducts(rng, 100000, 4)
+	users := make([]UserPref, 1000)
+	for i := range users {
+		users[i] = UserPref{W: randomWeight(rng, 4), K: 10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllTopK(ps, users)
+	}
+}

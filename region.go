@@ -1,0 +1,121 @@
+package mir
+
+import (
+	"mir/internal/core"
+	"mir/internal/geom"
+)
+
+// Region is an m-impact region: a union of convex cells in product space.
+// Any point inside covers at least M users; any point outside covers
+// fewer (the region is maximal).
+type Region struct {
+	reg *core.Region
+}
+
+func newRegion(reg *core.Region) *Region { return &Region{reg: reg} }
+
+// M returns the coverage threshold the region was computed for.
+func (r *Region) M() int { return r.reg.M }
+
+// Dim returns the dimensionality of the product space.
+func (r *Region) Dim() int { return r.reg.Dim }
+
+// Contains reports whether the given attribute vector lies in the region,
+// i.e. whether a product there would cover at least M users.
+func (r *Region) Contains(point []float64) bool {
+	return r.reg.Contains(geom.Vector(point))
+}
+
+// NumCells returns the number of convex cells forming the region.
+func (r *Region) NumCells() int { return len(r.reg.Cells) }
+
+// IsEmpty reports whether the region is empty (possible only in
+// restricted search boxes; over the full product space the top corner
+// always covers every user).
+func (r *Region) IsEmpty() bool { return r.reg.IsEmpty() }
+
+// Area returns the region's area for two-dimensional product spaces; it
+// panics for other dimensionalities.
+func (r *Region) Area() float64 { return r.reg.Area2D() }
+
+// Cell describes one convex piece of the region.
+type Cell struct {
+	poly *geom.Polytope
+	lo   geom.Vector
+	hi   geom.Vector
+}
+
+// Cells returns the region's convex cells.
+func (r *Region) Cells() []Cell {
+	out := make([]Cell, len(r.reg.Cells))
+	for i, c := range r.reg.Cells {
+		out[i] = Cell{poly: c}
+		if r.reg.MBBs != nil {
+			out[i].lo = r.reg.MBBs[i][0]
+			out[i].hi = r.reg.MBBs[i][1]
+		}
+	}
+	return out
+}
+
+// Constraint is one linear face of a cell: the halfspace W·x >= T.
+type Constraint struct {
+	W []float64
+	T float64
+}
+
+// Constraints returns the halfspaces whose intersection forms the cell
+// (the H-representation; some constraints may be redundant).
+func (c Cell) Constraints() []Constraint {
+	out := make([]Constraint, len(c.poly.Hs))
+	for i, h := range c.poly.Hs {
+		out[i] = Constraint{W: h.W, T: h.T}
+	}
+	return out
+}
+
+// Contains reports whether the point lies in this cell.
+func (c Cell) Contains(point []float64) bool {
+	return c.poly.ContainsPoint(geom.Vector(point))
+}
+
+// BoundingBox returns the cell's minimum bounding box corners, or nil
+// slices when unavailable.
+func (c Cell) BoundingBox() (lo, hi []float64) { return c.lo, c.hi }
+
+// AnyPoint returns some point of the cell (ok=false if the cell is
+// numerically empty).
+func (c Cell) AnyPoint() (point []float64, ok bool) {
+	p, ok := c.poly.FeasiblePoint()
+	return p, ok
+}
+
+// Stats exposes the work counters of the computation that produced the
+// region (cells created, splits, geometric tests, early decisions).
+type Stats struct {
+	Cells            int
+	Splits           int
+	ContainmentTests int
+	FastTests        int
+	Reported         int
+	Eliminated       int
+	EarlyReported    int
+	EarlyEliminated  int
+	Iterations       int
+}
+
+// Stats returns the computation counters.
+func (r *Region) Stats() Stats {
+	s := r.reg.Stats
+	return Stats{
+		Cells:            s.Cells,
+		Splits:           s.Splits,
+		ContainmentTests: s.ContainmentTests,
+		FastTests:        s.FastTests,
+		Reported:         s.Reported,
+		Eliminated:       s.Eliminated,
+		EarlyReported:    s.EarlyReported,
+		EarlyEliminated:  s.EarlyEliminated,
+		Iterations:       s.Iterations,
+	}
+}

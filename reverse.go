@@ -1,0 +1,64 @@
+package mir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReverseTopK returns the users covered by the product at productIndex —
+// the reverse top-k query of Vlachou et al., which the preprocessed
+// instance answers by a scan of the influential-halfspace thresholds: a
+// user holds the product in her top-k iff the product's score meets her
+// top-k-th score.
+func (a *Analyzer) ReverseTopK(productIndex int) ([]int, error) {
+	if productIndex < 0 || productIndex >= len(a.inst.Products) {
+		return nil, fmt.Errorf("mir: product index %d out of range [0,%d)",
+			productIndex, len(a.inst.Products))
+	}
+	p := a.inst.Products[productIndex]
+	var out []int
+	for ui, h := range a.inst.HS {
+		if h.Contains(p) {
+			out = append(out, ui)
+		}
+	}
+	return out, nil
+}
+
+// Influence is a product together with its reverse top-k cardinality.
+type Influence struct {
+	ProductIndex int
+	Coverage     int
+}
+
+// MostInfluential returns the n products with the largest reverse top-k
+// sets (ties broken toward the smaller index) — the "most influential
+// data objects" query of the reverse top-k literature, answered here from
+// the mIR preprocessing.
+func (a *Analyzer) MostInfluential(n int) []Influence {
+	if n > len(a.inst.Products) {
+		n = len(a.inst.Products)
+	}
+	if n <= 0 {
+		return nil
+	}
+	// Only skyband members can cover anyone beyond their own threshold
+	// position; still, coverage counting is cheapest done directly.
+	infl := make([]Influence, len(a.inst.Products))
+	for pi, p := range a.inst.Products {
+		cnt := 0
+		for _, h := range a.inst.HS {
+			if h.Contains(p) {
+				cnt++
+			}
+		}
+		infl[pi] = Influence{ProductIndex: pi, Coverage: cnt}
+	}
+	sort.Slice(infl, func(x, y int) bool {
+		if infl[x].Coverage != infl[y].Coverage {
+			return infl[x].Coverage > infl[y].Coverage
+		}
+		return infl[x].ProductIndex < infl[y].ProductIndex
+	})
+	return infl[:n]
+}
