@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the sequential-vs-parallel benchmark pair, as a smoke
+# test that the instrumented paths still run (timings are not meaningful at
+# -benchtime=1x).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkAllTopK|BenchmarkAAParallel' -benchtime 1x .
+
+ci: vet build race bench-smoke

@@ -8,7 +8,11 @@ package mir
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+
+	"mir/internal/geom"
+	"mir/internal/topk"
 )
 
 // benchSizes keeps every benchmark on the same small footing.
@@ -254,6 +258,50 @@ func BenchmarkFig17bDiverseK(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			runRegion(b, an, benchU/2)
+		})
+	}
+}
+
+// BenchmarkAllTopK compares the sequential and parallel all-top-k fan-out
+// (Section 5.1 preprocessing) on the IND workload. The sub-benchmark names
+// report the worker count; divide workers=1 time by workers=N time for the
+// speedup.
+func BenchmarkAllTopK(b *testing.B) {
+	ps := SynthProducts(Independent, 50000, 4, 1)
+	raw := SynthUsers(Clustered, 2000, 4, benchK, 2)
+	gps := make([]geom.Vector, len(ps))
+	for i, p := range ps {
+		gps[i] = geom.Vector(p)
+	}
+	users := make([]topk.UserPref, len(raw))
+	for i, u := range raw {
+		users[i] = topk.UserPref{W: geom.Vector(u.Weights), K: u.K}
+	}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				topk.AllTopKWorkers(gps, users, w)
+			}
+		})
+	}
+}
+
+// BenchmarkAAParallel compares a full ImpactRegion query with the engine
+// pinned to one worker against the default all-cores configuration, on the
+// IND workload. The answers are identical (see TestAAWorkersMatchSequential);
+// only the wall clock differs.
+func BenchmarkAAParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			an := benchAnalyzer(b, Independent, Clustered, benchP, benchU, benchD, benchK,
+				&Options{Workers: cfg.workers})
 			runRegion(b, an, benchU/2)
 		})
 	}

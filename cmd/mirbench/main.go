@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -43,7 +44,14 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "fraction of the paper's cardinalities to use")
 	paper := flag.Bool("paper", false, "use the paper's full cardinalities (slow)")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	workers := flag.Int("workers", 0, "cap on CPU cores used (0 = all); 1 reproduces the sequential engine")
 	flag.Parse()
+
+	// The engine sizes its worker pools from GOMAXPROCS, so capping it here
+	// bounds both the preprocessing fan-out and the AA classification pool.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	cfg := newConfig(*scale, *paper, *seed)
 	if *list {

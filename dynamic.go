@@ -23,15 +23,11 @@ type Monitor struct {
 
 // NewMonitor computes the initial m-impact region for the product catalog
 // and user population and prepares for incremental updates.
+//
+// The inputs are deep-copied: callers may mutate or reuse their slices
+// after NewMonitor returns without corrupting the Monitor.
 func NewMonitor(products [][]float64, users []User, m int) (*Monitor, error) {
-	ps := make([]geom.Vector, len(products))
-	for i, p := range products {
-		ps[i] = geom.Vector(p)
-	}
-	us := make([]topk.UserPref, len(users))
-	for i, u := range users {
-		us[i] = topk.UserPref{W: geom.Vector(u.Weights), K: u.K}
-	}
+	ps, us := convert(products, users)
 	inst, err := core.NewInstance(ps, us)
 	if err != nil {
 		return nil, fmt.Errorf("mir: %w", err)
@@ -60,10 +56,18 @@ func (mo *Monitor) Coverage(point []float64) int {
 
 // UserArrived registers a new user and updates the region. The returned
 // handle identifies the user for a later UserDeparted call.
+//
+// Handle contract: valid handles are non-negative and unique for the
+// Monitor's lifetime — initial users carry handles 0..len(users)-1 in
+// input order, and each successful UserArrived returns the next unused
+// integer. On error the returned handle is -1, which never collides with
+// a valid handle. The weight slice is deep-copied; the caller may reuse
+// it afterward.
 func (mo *Monitor) UserArrived(u User) (handle int, err error) {
-	h, err := mo.mt.AddUser(topk.UserPref{W: geom.Vector(u.Weights), K: u.K})
+	w := append(make(geom.Vector, 0, len(u.Weights)), u.Weights...)
+	h, err := mo.mt.AddUser(topk.UserPref{W: w, K: u.K})
 	if err != nil {
-		return 0, fmt.Errorf("mir: %w", err)
+		return -1, fmt.Errorf("mir: %w", err)
 	}
 	return h, nil
 }

@@ -109,6 +109,17 @@ type Stats struct {
 	MaxDepth         int
 }
 
+// MergeTests adds o's classification counters (fast tests, fast hits, LP
+// containment tests) into s. Parallel classification accumulates counters
+// into per-worker Stats values and merges them here after the join; the
+// merge is a sum, so totals are deterministic for any worker count and
+// scheduling.
+func (s *Stats) MergeTests(o Stats) {
+	s.FastTests += o.FastTests
+	s.FastHits += o.FastHits
+	s.ContainmentTests += o.ContainmentTests
+}
+
 // New creates a tree over the given box polytope (normally [0,1]^d or, for
 // IS-style problems, [p, 1]^d).
 func New(box *geom.Polytope) *Tree {
@@ -172,7 +183,16 @@ func (c *Cell) AddReportConstraint(h geom.Halfspace) { //nolint:unused
 // refine with an LP classification. The test is exact for Covers/Excludes
 // answers it does give.
 func (c *Cell) FastClassify(h geom.Halfspace) (rel geom.Relation, conclusive bool) {
-	c.owner.Stats.FastTests++
+	return c.FastClassifyInto(h, &c.owner.Stats)
+}
+
+// FastClassifyInto is FastClassify with the test counters accumulated into
+// st instead of the tree's shared Stats. It reads only immutable cell
+// state (the cached bounding box), so any number of goroutines may run it
+// against the same cell concurrently, each with its own st; merge the
+// per-worker counters afterward with Stats.MergeTests.
+func (c *Cell) FastClassifyInto(h geom.Halfspace, st *Stats) (rel geom.Relation, conclusive bool) {
+	st.FastTests++
 	lo, hi := 0.0, 0.0
 	for j, w := range h.W {
 		if w >= 0 {
@@ -184,11 +204,11 @@ func (c *Cell) FastClassify(h geom.Halfspace) (rel geom.Relation, conclusive boo
 		}
 	}
 	if lo >= h.T-geom.ClassifyTol {
-		c.owner.Stats.FastHits++
+		st.FastHits++
 		return geom.Covers, true
 	}
 	if hi <= h.T+geom.ClassifyTol {
-		c.owner.Stats.FastHits++
+		st.FastHits++
 		return geom.Excludes, true
 	}
 	return geom.Cuts, false
@@ -197,14 +217,32 @@ func (c *Cell) FastClassify(h geom.Halfspace) (rel geom.Relation, conclusive boo
 // Classify determines the cell-halfspace relation, using the fast MBB test
 // first when useFast is set, then falling back to LP containment tests.
 func (c *Cell) Classify(h geom.Halfspace, useFast bool) geom.Relation {
+	return c.ClassifyInto(h, useFast, &c.owner.Stats)
+}
+
+// ClassifyInto is Classify with the test counters accumulated into st
+// instead of the tree's shared Stats, enabling concurrent classification
+// of one cell by multiple goroutines. Callers fanning out MUST call
+// Prewarm on the cell first, so the lazily cached H-representation is
+// materialized before being read concurrently; the LP scratch state
+// itself is pooled per-goroutine (sync.Pool) and safe.
+func (c *Cell) ClassifyInto(h geom.Halfspace, useFast bool, st *Stats) geom.Relation {
 	if useFast {
-		if rel, ok := c.FastClassify(h); ok {
+		if rel, ok := c.FastClassifyInto(h, st); ok {
 			return rel
 		}
 	}
-	c.owner.Stats.ContainmentTests++
+	st.ContainmentTests++
 	return c.Polytope().Classify(h)
 }
+
+// Prewarm materializes the cell's cached H-representation (and, through
+// the recursion, every ancestor's). Polytope() caches lazily on first use,
+// which would race under concurrent classification; calling Prewarm from a
+// single goroutine before fanning out makes subsequent Polytope() calls
+// read-only for cells without report-time extra constraints (active cells
+// never carry them).
+func (c *Cell) Prewarm() { _ = c.Polytope() }
 
 // SplitBy divides the leaf by h's boundary hyperplane. The right child is
 // the part inside h, the left child the part outside. Children inherit the

@@ -6,6 +6,7 @@ import (
 
 	"mir/internal/celltree"
 	"mir/internal/geom"
+	"mir/internal/par"
 )
 
 // AA is the advanced mIR algorithm (Section 5, Algorithm 2). Users are
@@ -76,6 +77,10 @@ type aaRun struct {
 }
 
 func (r *aaRun) fast() bool { return !r.opts.DisableFastTest }
+
+// workers resolves the run's parallelism degree (Options.Workers; 0 = all
+// cores, 1 = sequential).
+func (r *aaRun) workers() int { return par.Resolve(r.opts.Workers) }
 
 // seedRoot attaches the full group list to the root and queues it.
 func (r *aaRun) seedRoot() {
@@ -236,9 +241,16 @@ func (r *aaRun) reportCell(c *celltree.Cell) {
 
 // update is Algorithm 2's Update: test every pending group against the
 // cell via Lemmas 3 and 4 and absorb fully-covering / fully-excluded
-// groups into the counts.
+// groups into the counts. With Workers > 1 the per-view relations are
+// precomputed concurrently (they are mutually independent); absorption
+// stays sequential so InCount/OutCount, the early-exit point, and the
+// surviving view order are identical to the sequential execution.
 func (r *aaRun) update(c *celltree.Cell) {
 	cg := c.Payload.(*cellGroups)
+	if w := r.workers(); w > 1 && len(cg.views) > 1 {
+		r.absorb(c, cg, r.relationsParallel(c, cg, w))
+		return
+	}
 	for vi := 0; vi < len(cg.views); {
 		switch r.groupRelation(c, cg.views[vi]) {
 		case geom.Covers:
@@ -261,12 +273,71 @@ func (r *aaRun) update(c *celltree.Cell) {
 	}
 }
 
+// relationsParallel classifies every pending view against the cell
+// concurrently, returning the relations indexed like cg.views. Test
+// counters accumulate into per-worker Stats and merge by summation, so
+// they are deterministic for any worker count; classification the
+// sequential loop would have skipped after an early exit is wasted rather
+// than skipped, so the counters can exceed the Workers == 1 numbers.
+func (r *aaRun) relationsParallel(c *celltree.Cell, cg *cellGroups, workers int) []geom.Relation {
+	c.Prewarm()
+	rels := make([]geom.Relation, len(cg.views))
+	stats := make([]celltree.Stats, workers)
+	par.ForWorker(len(cg.views), workers, func(w, i int) {
+		rels[i] = r.groupRelationInto(c, cg.views[i], &stats[w])
+	})
+	for _, s := range stats {
+		r.tr.Stats.MergeTests(s)
+	}
+	return rels
+}
+
+// absorb replays the sequential absorption loop of update over
+// precomputed relations, mirroring cg.remove's swap-with-last on the
+// relation slice so the two stay aligned.
+func (r *aaRun) absorb(c *celltree.Cell, cg *cellGroups, rels []geom.Relation) {
+	drop := func(vi int) {
+		cg.remove(vi)
+		last := len(rels) - 1
+		rels[vi] = rels[last]
+		rels = rels[:last]
+	}
+	for vi := 0; vi < len(cg.views); {
+		switch rels[vi] {
+		case geom.Covers:
+			c.InCount += len(cg.views[vi].members)
+			drop(vi)
+			r.st.GroupBatchHits++
+			if r.mode == modeMIR && c.InCount >= r.m {
+				return
+			}
+		case geom.Excludes:
+			c.OutCount += len(cg.views[vi].members)
+			drop(vi)
+			r.st.GroupBatchHits++
+			if r.mode == modeMIR && r.nU-c.OutCount < r.m {
+				return
+			}
+		default:
+			vi++
+		}
+	}
+}
+
 // groupRelation decides whether every member of the view covers the cell
 // (Lemma 3), every member excludes it (Lemma 4), or neither. The fast path
 // is the dominance test of Section 5.3: if the cell's MBB min-corner
 // dominates the group's common top-k-th product r, every product in the
 // cell outscores r for every user; symmetrically for the max-corner.
 func (r *aaRun) groupRelation(c *celltree.Cell, v *view) geom.Relation {
+	return r.groupRelationInto(c, v, &r.tr.Stats)
+}
+
+// groupRelationInto is groupRelation with the test counters accumulated
+// into st, so concurrent classifications of distinct views against a
+// prewarmed cell are race-free (each view is owned by one goroutine; the
+// lazy hull cache is therefore written by its owner only).
+func (r *aaRun) groupRelationInto(c *celltree.Cell, v *view, st *celltree.Stats) geom.Relation {
 	if r.fast() {
 		if c.MBBLo.WeakDominates(v.g.R) {
 			return geom.Covers
@@ -278,7 +349,7 @@ func (r *aaRun) groupRelation(c *celltree.Cell, v *view) geom.Relation {
 	allCover, allExclude := true, true
 	for _, pos := range v.hullPositions(r.inst) {
 		h := r.inst.HS[v.members[pos]]
-		switch c.Classify(h, r.fast()) {
+		switch c.ClassifyInto(h, r.fast(), st) {
 		case geom.Covers:
 			allExclude = false
 		case geom.Excludes:
@@ -312,8 +383,12 @@ func (r *aaRun) chooseView(cg *cellGroups) int {
 		}
 		return best
 	case RoundRobinGroup:
+		// Pick the cursor's current position, then advance — incrementing
+		// first would skip view 0 on the first pick and drift the cursor
+		// one slot per call for the lifetime of the run.
+		vi := r.rr % len(cg.views)
 		r.rr++
-		return r.rr % len(cg.views)
+		return vi
 	default:
 		best := 0
 		for i, v := range cg.views {
@@ -414,8 +489,13 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 // Section 5.2: classify the hull vertices with geometric tests, then place
 // interior members by convex-hull membership (Lemmas 3/4 make any member
 // inside conv of covering vertices covering, and likewise for excluded).
-// Members are pre-filtered with the O(d) MBB test.
+// Members are pre-filtered with the O(d) MBB test. Large views fan their
+// per-member classification (MBB pre-tests and hull-membership LPs) across
+// workers; see classifyByHullParallel.
 func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
+	if w := r.workers(); w > 1 && len(v.members) >= minParallelMembers {
+		return r.classifyByHullParallel(c, v, w)
+	}
 	inst := r.inst
 	hullPos := v.hullPositions(inst)
 	isHull := make(map[int]bool, len(hullPos))
@@ -460,6 +540,96 @@ func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
 		case len(vcPts) > 0 && r.inHull(inst.WProj[ui], vcPts):
 			gc = append(gc, pos)
 		case len(vePts) > 0 && r.inHull(inst.WProj[ui], vePts):
+			ge = append(ge, pos)
+		default:
+			gi = append(gi, pos)
+		}
+	}
+	return gc, ge, gi
+}
+
+// minParallelMembers gates the per-member fan-out of classifyByHull: below
+// this size the goroutine handoff costs more than the LPs it spreads.
+const minParallelMembers = 4
+
+// classifyByHullParallel is classifyByHull with both stages fanned across
+// workers: first the hull vertices are classified concurrently, then —
+// once the covering/excluding vertex hulls are fixed — the interior
+// members run their MBB pre-tests and hull-membership LPs concurrently.
+// Results are materialized per position and appended in the sequential
+// iteration order, so gc/ge/gi (and every downstream decision) are
+// identical to the sequential classification for any worker count.
+func (r *aaRun) classifyByHullParallel(c *celltree.Cell, v *view, workers int) (gc, ge, gi []int) {
+	inst := r.inst
+	c.Prewarm()
+	hullPos := v.hullPositions(inst)
+	stats := make([]celltree.Stats, workers)
+
+	// Stage 1: the hull vertices, via full geometric tests.
+	hullRel := make([]geom.Relation, len(hullPos))
+	par.ForWorker(len(hullPos), workers, func(w, i int) {
+		hullRel[i] = c.ClassifyInto(inst.HS[v.members[hullPos[i]]], r.fast(), &stats[w])
+	})
+	isHull := make(map[int]bool, len(hullPos))
+	var vc, ve []int
+	for i, pos := range hullPos {
+		isHull[pos] = true
+		switch hullRel[i] {
+		case geom.Covers:
+			gc = append(gc, pos)
+			vc = append(vc, pos)
+		case geom.Excludes:
+			ge = append(ge, pos)
+			ve = append(ve, pos)
+		default:
+			gi = append(gi, pos)
+		}
+	}
+	var vcPts, vePts []geom.Vector
+	for _, pos := range vc {
+		vcPts = append(vcPts, inst.WProj[v.members[pos]])
+	}
+	for _, pos := range ve {
+		vePts = append(vePts, inst.WProj[v.members[pos]])
+	}
+
+	// Stage 2: interior members against the now-fixed vertex hulls.
+	memRel := make([]geom.Relation, len(v.members))
+	hullTests := make([]int, workers)
+	par.ForWorker(len(v.members), workers, func(w, pos int) {
+		if isHull[pos] {
+			return
+		}
+		ui := v.members[pos]
+		if r.fast() {
+			if rel, ok := c.FastClassifyInto(inst.HS[ui], &stats[w]); ok {
+				memRel[pos] = rel
+				return
+			}
+		}
+		switch {
+		case len(vcPts) > 0 && func() bool { hullTests[w]++; return geom.InConvexHull(inst.WProj[ui], vcPts) }():
+			memRel[pos] = geom.Covers
+		case len(vePts) > 0 && func() bool { hullTests[w]++; return geom.InConvexHull(inst.WProj[ui], vePts) }():
+			memRel[pos] = geom.Excludes
+		default:
+			memRel[pos] = geom.Cuts
+		}
+	})
+	for _, s := range stats {
+		r.tr.Stats.MergeTests(s)
+	}
+	for _, n := range hullTests {
+		r.st.HullTests += n
+	}
+	for pos := range v.members {
+		if isHull[pos] {
+			continue
+		}
+		switch memRel[pos] {
+		case geom.Covers:
+			gc = append(gc, pos)
+		case geom.Excludes:
 			ge = append(ge, pos)
 		default:
 			gi = append(gi, pos)

@@ -18,6 +18,11 @@ type Group struct {
 	// w[1] (the paper's "i-th largest w[1]" ordering behind Lemmas 5/6);
 	// for d > 2 the order is ascending user index.
 	Members []int
+	// Hull caches the positions (into Members) of the convex-hull vertices
+	// of the member weight vectors in projected weight space. NewInstance
+	// precomputes it (in parallel across groups); views over the full
+	// member list reuse it, and views over subsets recompute lazily.
+	Hull []int
 }
 
 // buildGroups partitions users by top-k-th product.
@@ -95,30 +100,42 @@ type view struct {
 }
 
 func newView(g *Group) *view {
-	return &view{g: g, members: g.Members}
+	return &view{g: g, members: g.Members, hull: g.Hull}
 }
 
 // hullPositions returns the positions (indices into v.members) of the
-// convex-hull vertices of the view's user vectors in weight space.
+// convex-hull vertices of the view's user vectors in weight space. The
+// cache is written lazily by whichever single goroutine owns the view for
+// the current cell — views are never classified by two goroutines at once
+// (the parallel update fans across distinct views) — and root views
+// arrive pre-seeded from the group's precomputed hull.
 func (v *view) hullPositions(inst *Instance) []int {
 	if v.hull != nil {
 		return v.hull
 	}
-	if inst.Dim == 2 {
-		// Members are sorted by w[1]; the 1-D hull is {first, last}.
-		if len(v.members) == 1 {
-			v.hull = []int{0}
-		} else {
-			v.hull = []int{0, len(v.members) - 1}
-		}
-		return v.hull
+	v.hull = hullPositionsOf(inst, v.members)
+	return v.hull
+}
+
+// hullPositionsOf returns the positions (indices into members) of the
+// convex-hull vertices of the members' weight vectors in projected weight
+// space. For d = 2 the members are sorted by w[1], so the 1-D hull is
+// {first, last}.
+func hullPositionsOf(inst *Instance, members []int) []int {
+	if len(members) == 0 {
+		return nil
 	}
-	pts := make([]geom.Vector, len(v.members))
-	for i, ui := range v.members {
+	if inst.Dim == 2 {
+		if len(members) == 1 {
+			return []int{0}
+		}
+		return []int{0, len(members) - 1}
+	}
+	pts := make([]geom.Vector, len(members))
+	for i, ui := range members {
 		pts[i] = inst.WProj[ui]
 	}
-	v.hull = geom.ExtremePoints(pts)
-	return v.hull
+	return geom.ExtremePoints(pts)
 }
 
 // withMembers derives a new view with the given member subset.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"mir/internal/geom"
+	"mir/internal/par"
 	"mir/internal/topk"
 )
 
@@ -51,8 +52,23 @@ type Instance struct {
 
 // NewInstance validates the inputs and performs the all-top-k
 // preprocessing: every user's top-k-th product, influential halfspace, and
-// group assignment.
+// group assignment. The preprocessing fans across all cores; see
+// NewInstanceWorkers for the worker knob.
 func NewInstance(products []geom.Vector, users []topk.UserPref) (*Instance, error) {
+	return NewInstanceWorkers(products, users, 0)
+}
+
+// NewInstanceWorkers is NewInstance with an explicit worker count
+// (0 = all cores, 1 = strictly sequential). Three preprocessing stages
+// parallelize: the per-user all-top-k selection, the per-user halfspace
+// and weight-projection construction, and the per-group convex-hull
+// precomputation in projected weight space (the hulls that power AA's
+// Lemma 3/4 batch tests). Every stage writes to index-addressed slots, so
+// the resulting Instance is identical for every worker count.
+//
+// After construction the Instance is read-only for query execution: AA
+// runs (and therefore concurrent Analyzer queries) only read it.
+func NewInstanceWorkers(products []geom.Vector, users []topk.UserPref, workers int) (*Instance, error) {
 	if len(products) == 0 {
 		return nil, ErrNoProducts
 	}
@@ -82,18 +98,26 @@ func NewInstance(products []geom.Vector, users []topk.UserPref) (*Instance, erro
 		Users:    users,
 		Dim:      d,
 	}
-	inst.Kth = topk.AllTopK(products, users)
+	inst.Kth = topk.AllTopKWorkers(products, users, workers)
 	inst.HS = make([]geom.Halfspace, len(users))
 	inst.WProj = make([]geom.Vector, len(users))
-	for i, u := range users {
+	par.For(len(users), workers, func(i int) {
+		u := users[i]
 		inst.HS[i] = geom.Halfspace{W: u.W, T: inst.Kth[i].Score}
 		if d > 1 {
 			inst.WProj[i] = u.W[:d-1]
 		} else {
 			inst.WProj[i] = u.W
 		}
-	}
+	})
 	inst.Groups = buildGroups(inst)
+	// Precompute each group's weight-space hull (one LP per member for
+	// d > 2) so queries start with the Lemma 3/4 vertex sets ready instead
+	// of computing them lazily on the hot path.
+	par.For(len(inst.Groups), workers, func(i int) {
+		g := inst.Groups[i]
+		g.Hull = hullPositionsOf(inst, g.Members)
+	})
 	return inst, nil
 }
 

@@ -101,14 +101,16 @@ func (mt *Maintainer) MinBoundaryGap(p geom.Vector) float64 {
 }
 
 // AddUser registers a new user, updates the region incrementally, and
-// returns the user's index (for a later RemoveUser).
+// returns the user's index (for a later RemoveUser). Valid indices are
+// non-negative; on error the returned index is -1, so it can never be
+// mistaken for the first user's index 0.
 func (mt *Maintainer) AddUser(u topk.UserPref) (int, error) {
 	if len(u.W) != mt.dim {
-		return 0, fmt.Errorf("%w: new user has %d weights, want %d",
+		return -1, fmt.Errorf("%w: new user has %d weights, want %d",
 			ErrDimMismatch, len(u.W), mt.dim)
 	}
 	if u.K < 1 || u.K > len(mt.products) {
-		return 0, fmt.Errorf("%w: new user has k=%d (|P|=%d)",
+		return -1, fmt.Errorf("%w: new user has k=%d (|P|=%d)",
 			ErrBadK, u.K, len(mt.products))
 	}
 	inst := mt.run.inst

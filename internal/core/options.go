@@ -18,6 +18,18 @@ const (
 // (the paper's configuration). The Disable* switches exist for the
 // effectiveness ablations of Section 6.4.
 type Options struct {
+	// Workers caps the parallel execution layer threaded through the
+	// engine: the all-top-k preprocessing fan-out, instance construction
+	// (halfspace + per-group hull precomputation), and AA's concurrent
+	// batch classification of pending group views against a cell. 0 (the
+	// default) uses every core (runtime.GOMAXPROCS); 1 reproduces the
+	// original single-threaded execution exactly, byte-identical region
+	// and Stats included — ablation and EXPERIMENTS.md numbers were
+	// measured that way. The computed region is identical for every
+	// setting; with Workers > 1 only the test counters in Stats may
+	// exceed the sequential numbers (classification past a sequential
+	// early-exit point is wasted rather than skipped).
+	Workers int
 	// GroupChoice picks the insertion group (Figure 17a).
 	GroupChoice GroupChoice
 	// DisableFastTest turns off the MBB filter-and-refine tests of

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"mir/internal/geom"
+	"mir/internal/par"
 )
 
 // Score returns the weighted-sum suitability S(p, w) = w·p of product p for
@@ -151,7 +152,18 @@ func Skyline(products []geom.Vector) []int { return Skyband(products, 1) }
 // AllTopK returns, for every user, the identity and score of that user's
 // top-k-th product (with the user's personal k). The computation prunes to
 // the kmax-skyband first; per-user work then touches only skyband members.
+// It parallelizes across all cores; see AllTopKWorkers for the worker knob.
 func AllTopK(products []geom.Vector, users []UserPref) []KthResult {
+	return AllTopKWorkers(products, users, 0)
+}
+
+// AllTopKWorkers is AllTopK with an explicit worker count (0 = all cores,
+// 1 = strictly sequential). The per-user selections are independent, so
+// they are fanned across workers in contiguous chunks with each result
+// written to its user's slot; the output is identical for every worker
+// count. The skyband pruning itself stays sequential — it is a tiny
+// fraction of the work and its scan order is semantic.
+func AllTopKWorkers(products []geom.Vector, users []UserPref, workers int) []KthResult {
 	kmax := 0
 	for _, u := range users {
 		if u.K > kmax {
@@ -170,9 +182,10 @@ func AllTopK(products []geom.Vector, users []UserPref) []KthResult {
 		sub[i] = products[j]
 	}
 	out := make([]KthResult, len(users))
-	for ui, u := range users {
+	par.For(len(users), workers, func(ui int) {
+		u := users[ui]
 		r := KthScore(sub, u.W, u.K)
 		out[ui] = KthResult{Index: band[r.Index], Score: r.Score}
-	}
+	})
 	return out
 }

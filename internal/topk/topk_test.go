@@ -210,6 +210,121 @@ func TestAllTopKTopCornerAlwaysWins(t *testing.T) {
 	}
 }
 
+// gridProducts draws attribute values from a coarse grid, so exact score
+// ties and duplicate points are common — the regime where tie-breaking
+// and dominance-count bugs hide.
+func gridProducts(rng *rand.Rand, n, d, levels int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		ps[i] = make(geom.Vector, d)
+		for j := range ps[i] {
+			ps[i][j] = float64(rng.Intn(levels)) / float64(levels-1)
+		}
+	}
+	return ps
+}
+
+// TestTopKMatchesOracleWithTies is the property test of the quickselect
+// path (TopK/partialSelect) against a full-sort oracle on inputs with
+// heavy score ties: grid-valued attributes and grid-valued weights make
+// exact float equality frequent, so the (score desc, index asc) ranking is
+// exercised through its tie-break branches.
+func TestTopKMatchesOracleWithTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(60)
+		d := 1 + rng.Intn(4)
+		ps := gridProducts(rng, n, d, 3)
+		// Grid weights keep scores on a lattice (many exact ties).
+		w := make(geom.Vector, d)
+		s := 0.0
+		for j := range w {
+			w[j] = float64(1 + rng.Intn(4))
+			s += w[j]
+		}
+		for j := range w {
+			w[j] /= s
+		}
+		k := 1 + rng.Intn(n)
+		got := TopK(ps, w, k)
+		want := naiveTopK(ps, w, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d d=%d k=%d): TopK=%v oracle=%v",
+					trial, n, d, k, got, want)
+			}
+		}
+		// KthScore must name the oracle's k-th element and its exact score.
+		r := KthScore(ps, w, k)
+		if r.Index != want[k-1] || r.Score != w.Dot(ps[want[k-1]]) {
+			t.Fatalf("trial %d: KthScore=%+v, oracle k-th=%d", trial, r, want[k-1])
+		}
+	}
+}
+
+// TestSkybandMatchesNaiveWithDuplicates is the Skyband oracle test: a
+// naive O(n²) dominance count over grid-valued inputs where duplicate
+// points are guaranteed. Duplicates never dominate each other (dominance
+// requires a strictly better coordinate), so both copies must appear in
+// the band together.
+func TestSkybandMatchesNaiveWithDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		n := 10 + rng.Intn(120)
+		d := 2 + rng.Intn(3)
+		ps := gridProducts(rng, n, d, 3)
+		// Force exact duplicates beyond what the grid already produces.
+		for c := 0; c < n/5; c++ {
+			ps[rng.Intn(n)] = ps[rng.Intn(n)].Clone()
+		}
+		k := 1 + rng.Intn(5)
+		want := map[int]bool{}
+		for i := range ps {
+			dom := 0
+			for j := range ps {
+				if j != i && ps[j].Dominates(ps[i]) {
+					dom++
+				}
+			}
+			if dom < k {
+				want[i] = true
+			}
+		}
+		got := Skyband(ps, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d): band size %d, oracle %d", trial, k, len(got), len(want))
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("trial %d: band not sorted: %v", trial, got)
+		}
+		for _, i := range got {
+			if !want[i] {
+				t.Fatalf("trial %d (k=%d): product %d in band but oracle says out", trial, k, i)
+			}
+		}
+	}
+}
+
+// TestAllTopKWorkersMatch pins that the parallel fan-out returns exactly
+// the sequential results for every worker count.
+func TestAllTopKWorkersMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ps := randomProducts(rng, 2000, 4)
+	users := make([]UserPref, 123)
+	for i := range users {
+		users[i] = UserPref{W: randomWeight(rng, 4), K: 1 + rng.Intn(20)}
+	}
+	want := AllTopKWorkers(ps, users, 1)
+	for _, w := range []int{0, 2, 3, 16} {
+		got := AllTopKWorkers(ps, users, w)
+		for ui := range want {
+			if got[ui] != want[ui] {
+				t.Fatalf("workers=%d user %d: %+v vs sequential %+v", w, ui, got[ui], want[ui])
+			}
+		}
+	}
+}
+
 func TestTopKPanicsOnBadK(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -45,7 +45,6 @@ import (
 
 	"mir/internal/core"
 	"mir/internal/geom"
-	"mir/internal/topk"
 )
 
 // User is a member of the population: a preference weight per product
@@ -57,8 +56,17 @@ type User struct {
 }
 
 // Options tunes the algorithms. The zero value enables every optimization
-// from the paper and is the right choice outside of benchmarking.
+// from the paper, uses every core, and is the right choice outside of
+// benchmarking.
 type Options struct {
+	// Workers caps the engine's parallel execution layer: the all-top-k
+	// preprocessing, instance construction, and AA's concurrent batch
+	// classification of pending user groups against arrangement cells.
+	// 0 (the default) uses every core (runtime.GOMAXPROCS); 1 reproduces
+	// the original single-threaded execution exactly (ablations and the
+	// EXPERIMENTS.md numbers were measured that way). Regions, placements,
+	// and coverage counts are identical for every setting.
+	Workers int
 	// Strategy selects which pending user group is opened first when a
 	// cell remains undecided; see the Strategy constants.
 	Strategy Strategy
@@ -89,6 +97,7 @@ func (o *Options) toCore() core.Options {
 		return core.Options{}
 	}
 	return core.Options{
+		Workers:           o.Workers,
 		GroupChoice:       core.GroupChoice(o.Strategy),
 		DisableFastTest:   o.DisableFastTests,
 		DisableInnerGroup: o.DisableInnerGroupProcessing,
@@ -100,8 +109,12 @@ func (o *Options) toCore() core.Options {
 // Analyzer holds a preprocessed product catalog and user population,
 // ready to answer impact queries. Preprocessing computes every user's
 // top-k-th product (the all-top-k step) once; individual queries reuse
-// it. An Analyzer is safe for sequential reuse; methods are not
-// goroutine-safe.
+// it.
+//
+// An Analyzer is safe for concurrent use: the preprocessed instance is
+// read-only after construction, every query builds its own arrangement
+// cell tree, and the shared LP scratch state is pooled per goroutine.
+// Queries may themselves run multi-core (see Options.Workers).
 type Analyzer struct {
 	inst *core.Instance
 	opts core.Options
@@ -110,20 +123,17 @@ type Analyzer struct {
 // NewAnalyzer validates the inputs and runs the all-top-k preprocessing.
 // Products are rows of attribute values in [0,1]; users supply simplex
 // weights of the same dimensionality and k between 1 and len(products).
+//
+// The inputs are deep-copied: callers may mutate or reuse their slices
+// after NewAnalyzer returns without corrupting the Analyzer.
 func NewAnalyzer(products [][]float64, users []User, opts *Options) (*Analyzer, error) {
-	ps := make([]geom.Vector, len(products))
-	for i, p := range products {
-		ps[i] = geom.Vector(p)
-	}
-	us := make([]topk.UserPref, len(users))
-	for i, u := range users {
-		us[i] = topk.UserPref{W: geom.Vector(u.Weights), K: u.K}
-	}
-	inst, err := core.NewInstance(ps, us)
+	ps, us := convert(products, users)
+	co := opts.toCore()
+	inst, err := core.NewInstanceWorkers(ps, us, co.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("mir: %w", err)
 	}
-	return &Analyzer{inst: inst, opts: opts.toCore()}, nil
+	return &Analyzer{inst: inst, opts: co}, nil
 }
 
 // NumProducts returns the catalog size.

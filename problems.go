@@ -132,14 +132,19 @@ func CheapestUpgrade(products [][]float64, users []User, productIndex, m int, co
 	}, nil
 }
 
+// convert deep-copies the public-API product rows and user weights into
+// the internal representation. The engine retains these vectors for the
+// lifetime of an Analyzer/Monitor (and aliases them into halfspaces and
+// weight projections), so aliasing the caller's slices would let a
+// post-construction mutation silently corrupt every later query.
 func convert(products [][]float64, users []User) ([]geom.Vector, []topk.UserPref) {
 	ps := make([]geom.Vector, len(products))
 	for i, p := range products {
-		ps[i] = geom.Vector(p)
+		ps[i] = append(make(geom.Vector, 0, len(p)), p...)
 	}
 	us := make([]topk.UserPref, len(users))
 	for i, u := range users {
-		us[i] = topk.UserPref{W: geom.Vector(u.Weights), K: u.K}
+		us[i] = topk.UserPref{W: append(make(geom.Vector, 0, len(u.Weights)), u.Weights...), K: u.K}
 	}
 	return ps, us
 }
