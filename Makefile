@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke ci
+.PHONY: all vet build test race bench-smoke bench bench-json ci
 
 all: ci
 
@@ -21,5 +21,16 @@ race:
 # -benchtime=1x).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkAllTopK|BenchmarkAAParallel' -benchtime 1x .
+
+# Full in-repo Go benchmarks with allocation reporting (the numbers quoted
+# in EXPERIMENTS.md).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Machine-readable AA benchmark matrix (wall time, allocs/op, LP-call
+# counters per dataset and pruning setting). CI regenerates and uploads
+# this; the committed copy is the reference point for regressions.
+bench-json:
+	$(GO) run ./cmd/mirbench -json BENCH_AA.json
 
 ci: vet build race bench-smoke

@@ -14,6 +14,8 @@
 //	mirbench -list
 //	mirbench -fig 10a
 //	mirbench -fig all -scale 0.05
+//	mirbench -json BENCH_AA.json
+//	mirbench -fig 10a -cpuprofile cpu.pb -memprofile mem.pb
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 )
@@ -45,6 +48,9 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's full cardinalities (slow)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	workers := flag.Int("workers", 0, "cap on CPU cores used (0 = all); 1 reproduces the sequential engine")
+	jsonPath := flag.String("json", "", "run the AA benchmark matrix and write a machine-readable report to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this path")
 	flag.Parse()
 
 	// The engine sizes its worker pools from GOMAXPROCS, so capping it here
@@ -53,9 +59,39 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	cfg := newConfig(*scale, *paper, *seed)
 	if *list {
 		printList(cfg)
+		return
+	}
+	if *jsonPath != "" {
+		if err := runJSONBench(cfg, *jsonPath); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if *fig == "" {
@@ -76,6 +112,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mirbench: unknown experiment %q (see -list)\n", *fig)
 	os.Exit(2)
+}
+
+// fatal reports an operational error. It exits without running deferred
+// profile flushes — acceptable, since a failed run has nothing to profile.
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mirbench: %v\n", err)
+	os.Exit(1)
 }
 
 func runOne(e experiment, cfg config) {

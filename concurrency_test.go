@@ -1,6 +1,7 @@
 package mir
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -201,6 +202,76 @@ func TestAnalyzerConcurrentQueries(t *testing.T) {
 		if n != len(want.Cells()) {
 			t.Fatalf("goroutine %d: %d cells, want %d", g, n, len(want.Cells()))
 		}
+	}
+}
+
+// TestConcurrentQueriesSharedPools stresses the pooled LP scratch layers
+// (workspace pool, feasibility scratch, hull scratch, axis-normal cache)
+// through the public API: goroutines with different worker counts, m
+// values, and pruning settings run against one shared Analyzer while
+// others run on their own analyzers. Under -race this surfaces any
+// scratch buffer escaping its borrower; without -race it still checks
+// every goroutine reproduces the sequential answer exactly.
+func TestConcurrentQueriesSharedPools(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ps, us := fixture(rng, 300, 16, 3, 6)
+	shared, err := NewAnalyzer(ps, us, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []int{1, 4, 8, 12}
+	want := make(map[int]int)
+	for _, m := range ms {
+		reg, err := shared.ImpactRegion(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[m] = len(reg.Cells())
+	}
+
+	variants := []*Options{
+		nil,
+		{Workers: 1},
+		{Workers: 4},
+		{Workers: 2, DisableRedundancyPruning: true},
+		{Workers: 1, DisableRedundancyPruning: true},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			an := shared
+			if g%3 == 0 {
+				// A third of the goroutines construct their own analyzer
+				// concurrently (construction uses the same pools).
+				var err error
+				an, err = NewAnalyzer(ps, us, variants[g%len(variants)])
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			for r := 0; r < 3; r++ {
+				m := ms[(g+r)%len(ms)]
+				reg, err := an.ImpactRegion(m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(reg.Cells()) != want[m] {
+					errs <- fmt.Errorf("goroutine %d m=%d: %d cells, want %d",
+						g, m, len(reg.Cells()), want[m])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -68,6 +68,7 @@ type Cell struct {
 	parent        *Cell
 	left, right   *Cell
 	split         geom.Halfspace
+	splitFlip     geom.Halfspace // split.Flip(), cached (left-child paths reuse it)
 	owner         *Tree
 	reportedExtra []geom.Halfspace // extra constraints recorded at report time (2-D fast path)
 	poly          *geom.Polytope   // lazily built H-rep, cached (cells are classified many times)
@@ -92,8 +93,23 @@ type Tree struct {
 	Dim  int
 	Box  *geom.Polytope
 
+	// Prune enables split-time redundancy elimination of child cell
+	// H-representations (on by default). A cell's raw constraint path grows
+	// by one row per ancestor, but deep cells are small and most ancestor
+	// boundaries no longer touch them; pruning keeps the per-cell LP sizes
+	// bounded by the cell's local geometry instead of its depth. Pruning
+	// changes only the representation, never the point set, so classification
+	// outcomes — and hence the reported region — are identical either way
+	// (see FullPolytope for the export path).
+	Prune bool
+
 	Stats  Stats
 	nextID int
+
+	// Reusable SplitBy scratch (tree mutation is single-goroutine; only
+	// classification fans out).
+	pathBuf  []geom.Halfspace
+	reduceIn []geom.Halfspace
 }
 
 // Stats aggregates arrangement counters; the paper's Figures 12b and 16
@@ -107,6 +123,14 @@ type Stats struct {
 	Reported         int
 	Eliminated       int
 	MaxDepth         int
+
+	// PruneLPTests counts the redundancy-elimination LPs run at split time;
+	// PrunedRows counts constraint rows dropped (by the interval prescreen
+	// and the LP phase together). Both are kept separate from
+	// ContainmentTests so the classification counters stay comparable with
+	// pruning on or off.
+	PruneLPTests int
+	PrunedRows   int
 }
 
 // MergeTests adds o's classification counters (fast tests, fast hits, LP
@@ -124,7 +148,7 @@ func (s *Stats) MergeTests(o Stats) {
 // IS-style problems, [p, 1]^d).
 func New(box *geom.Polytope) *Tree {
 	lo, hi, ok := box.MBB()
-	t := &Tree{Dim: box.Dim, Box: box}
+	t := &Tree{Dim: box.Dim, Box: box, Prune: true}
 	root := &Cell{ID: 0, MBBLo: lo, MBBHi: hi}
 	if !ok {
 		root.Status = Eliminated // empty search space
@@ -152,7 +176,7 @@ func (c *Cell) Polytope() *geom.Polytope {
 	} else {
 		h := c.parent.split
 		if c == c.parent.left {
-			h = h.Flip()
+			h = c.parent.splitFlip
 		}
 		ph := c.parent.Polytope().Hs
 		base = make([]geom.Halfspace, 0, len(ph)+1)
@@ -169,6 +193,33 @@ func (c *Cell) Polytope() *geom.Polytope {
 	hs = append(hs, c.poly.Hs...)
 	hs = append(hs, c.reportedExtra...)
 	return &geom.Polytope{Dim: tr.Dim, Hs: hs}
+}
+
+// FullPolytope returns the cell's raw H-representation: the tree's box
+// constraints followed by one oriented halfspace per ancestor split in
+// root-to-leaf order, plus any report-time extras. Unlike Polytope — whose
+// cached representation is redundancy-pruned when Tree.Prune is set — the
+// result depends only on the split history, so region export built on it is
+// byte-identical whether pruning ran or not.
+func (c *Cell) FullPolytope() *geom.Polytope {
+	tr := c.owner
+	hs := c.appendRawPath(make([]geom.Halfspace, 0, len(tr.Box.Hs)+c.Depth+len(c.reportedExtra)))
+	hs = append(hs, c.reportedExtra...)
+	return &geom.Polytope{Dim: tr.Dim, Hs: hs}
+}
+
+// appendRawPath appends the cell's raw constraint path — box rows, then one
+// oriented split row per ancestor in root-to-leaf order — to dst.
+func (c *Cell) appendRawPath(dst []geom.Halfspace) []geom.Halfspace {
+	if c.parent == nil {
+		return append(dst, c.owner.Box.Hs...)
+	}
+	dst = c.parent.appendRawPath(dst)
+	h := c.parent.split
+	if c == c.parent.left {
+		h = c.parent.splitFlip
+	}
+	return append(dst, h)
 }
 
 // AddReportConstraint attaches an extra halfspace to the reported cell's
@@ -260,6 +311,7 @@ func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 		panic("celltree: SplitBy on internal node")
 	}
 	c.split = h
+	c.splitFlip = h.Flip()
 	mk := func() *Cell {
 		n := &Cell{
 			ID:       tr.nextID,
@@ -279,26 +331,44 @@ func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 	if c.Depth+1 > tr.Stats.MaxDepth {
 		tr.Stats.MaxDepth = c.Depth + 1
 	}
-	for _, ch := range []*Cell{left, right} {
+	// The raw (unpruned) ancestor path. Bounding boxes are always derived
+	// from it — interval propagation against a redundant row can tighten
+	// bounds its implying rows cannot, so propagating over a pruned list
+	// would yield looser (though still valid) boxes and perturb the fast
+	// tests. Deriving from the raw path keeps MBBs, fast-test outcomes, and
+	// Stats counters identical whether pruning is on or off.
+	tr.pathBuf = c.appendRawPath(tr.pathBuf[:0])
+	full := tr.pathBuf
+	// Redundancy elimination, in contrast, starts from the parent's
+	// already-reduced representation: redundancy is monotone down the tree
+	// (a row implied over the parent cell stays implied over either child),
+	// so rows the parent's reduction dropped never need re-testing.
+	var base []geom.Halfspace
+	if tr.Prune {
+		base = c.Polytope().Hs
+	}
+	for _, ch := range [2]*Cell{left, right} {
 		hs := h
 		if ch == left {
-			hs = h.Flip()
+			hs = c.splitFlip
 		}
 		lo, hi, ok := clipBox(c.MBBLo, c.MBBHi, hs)
 		if ok {
-			// Tighten by interval propagation over the cell's whole
-			// constraint path: each pass re-clips the box against every
-			// constraint, and a shrunken box can make earlier constraints
-			// bite again. Two passes capture most of the tightening at a
-			// fraction of the cost of exact (LP-based) bounds.
-			ch.MBBLo, ch.MBBHi = lo, hi
-			path := ch.Polytope().Hs
+			// Tighten by interval propagation over the cell's whole raw
+			// constraint path (ancestors first, the new split row last):
+			// each pass re-clips the box against every constraint, and a
+			// shrunken box can make earlier constraints bite again. Two
+			// passes capture most of the tightening at a fraction of the
+			// cost of exact (LP-based) bounds.
 			for pass := 0; pass < 2 && ok; pass++ {
-				for _, hp := range path {
+				for _, hp := range full {
 					if !clipBoxInPlace(lo, hi, hp) {
 						ok = false
 						break
 					}
+				}
+				if ok && !clipBoxInPlace(lo, hi, hs) {
+					ok = false
 				}
 			}
 		}
@@ -310,6 +380,20 @@ func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 			continue
 		}
 		ch.MBBLo, ch.MBBHi = lo, hi
+		if tr.Prune {
+			in := append(tr.reduceIn[:0], base...)
+			in = append(in, hs)
+			tr.reduceIn = in[:0]
+			red, rst := geom.ReduceCell(tr.Dim, in, lo, hi)
+			tr.Stats.PruneLPTests += rst.LPTests
+			tr.Stats.PrunedRows += rst.BoxDropped + rst.LPDropped
+			ch.poly = &geom.Polytope{Dim: tr.Dim, Hs: red}
+		} else {
+			raw := make([]geom.Halfspace, 0, len(full)+1)
+			raw = append(raw, full...)
+			raw = append(raw, hs)
+			ch.poly = &geom.Polytope{Dim: tr.Dim, Hs: raw}
+		}
 		tr.Stats.CellsCreated++
 	}
 	return left, right
@@ -368,8 +452,11 @@ func clipBox(lo, hi geom.Vector, h geom.Halfspace) (nlo, nhi geom.Vector, ok boo
 	if sMax < h.T-geom.Eps {
 		return nil, nil, false
 	}
-	nlo = lo.Clone()
-	nhi = hi.Clone()
+	backing := make([]float64, 2*len(lo))
+	nlo = geom.Vector(backing[:len(lo):len(lo)])
+	nhi = geom.Vector(backing[len(lo):])
+	copy(nlo, lo)
+	copy(nhi, hi)
 	for j, w := range h.W {
 		if w > geom.Eps {
 			// Others at their max: w_j x_j >= T - (sMax - w_j hi_j).

@@ -66,6 +66,18 @@ type aaRun struct {
 	st   Stats
 	rr   int // round-robin cursor for the ablation strategy
 
+	// Reusable scratch for the sequential hot paths (the run loop is
+	// single-goroutine; parallel stages carry their own state).
+	leavesBuf []*celltree.Cell
+	isHullBuf []bool
+	vcPts     []geom.Vector
+	vePts     []geom.Vector
+	ptsBuf    []geom.Vector
+	gcBuf     []int
+	geBuf     []int
+	giBuf     []int
+	remBuf    []int
+
 	// Max-coverage mode (IS, budgeted CO).
 	mode      runMode
 	budget    float64
@@ -84,6 +96,7 @@ func (r *aaRun) workers() int { return par.Resolve(r.opts.Workers) }
 
 // seedRoot attaches the full group list to the root and queues it.
 func (r *aaRun) seedRoot() {
+	r.tr.Prune = !r.opts.DisablePruning
 	root := r.tr.Root
 	if root.Status != celltree.Active {
 		return
@@ -147,11 +160,21 @@ func (r *aaRun) loop() {
 		if newCG == nil {
 			continue // the cell was decided during group insertion
 		}
-		for _, leaf := range r.tr.Leaves(c, nil) {
+		r.leavesBuf = r.tr.Leaves(c, r.leavesBuf[:0])
+		// Each active leaf needs an independently mutable copy of the list;
+		// newCG itself is unaliased after this loop, so the first taker can
+		// have the original.
+		taken := false
+		for _, leaf := range r.leavesBuf {
 			if leaf.Status != celltree.Active {
 				continue
 			}
-			leaf.Payload = newCG.clone()
+			if taken {
+				leaf.Payload = newCG.clone()
+			} else {
+				leaf.Payload = newCG
+				taken = true
+			}
 			if !r.verify(leaf) {
 				r.heap.Push(leaf, r.priority(leaf))
 			}
@@ -408,9 +431,10 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 	inst := r.inst
 	v := cg.views[vi]
 
-	var gc, ge, gi []int // positions into v.members
+	var gc, ge, gi []int // positions into v.members (reusable scratch)
 	if r.opts.DisableInnerGroup {
 		// Ablation: classify every member with its own containment test.
+		gc, ge, gi = r.gcBuf[:0], r.geBuf[:0], r.giBuf[:0]
 		for pos := range v.members {
 			switch c.Classify(inst.HS[v.members[pos]], r.fast()) {
 			case geom.Covers:
@@ -424,6 +448,11 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 	} else {
 		gc, ge, gi = r.classifyByHull(c, v)
 	}
+	// The position lists live in the run's scratch (the parallel
+	// classification path returns fresh slices; storing those back just
+	// grows the scratch). Nothing below retains them: member lists are
+	// copied out before they land in views.
+	r.gcBuf, r.geBuf, r.giBuf = gc[:0], ge[:0], gi[:0]
 	// Keep positions ascending: views inherit the group's member ordering
 	// (descending w[1] for d = 2, where the hull-extremes shortcut depends
 	// on it).
@@ -466,9 +495,10 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 	if r.opts.DisableInnerGroup {
 		insertPos = gi
 	} else {
-		insertPos = hullOfPositions(inst, v, gi)
+		insertPos = r.hullOfPositions(v, gi)
 	}
-	remainder := subtractPositions(gi, insertPos)
+	remainder := subtractPositions(gi, insertPos, r.remBuf[:0])
+	r.remBuf = remainder[:0]
 	newCG := base
 	if len(remainder) > 0 {
 		members := make([]int, len(remainder))
@@ -498,28 +528,31 @@ func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
 	}
 	inst := r.inst
 	hullPos := v.hullPositions(inst)
-	isHull := make(map[int]bool, len(hullPos))
-	var vc, ve []int // hull positions by relation
+	// Reusable scratch: the position lists, a position-indexed hull marker,
+	// and the vertex point lists (the run loop is single-goroutine here).
+	gc, ge, gi = r.gcBuf[:0], r.geBuf[:0], r.giBuf[:0]
+	if cap(r.isHullBuf) < len(v.members) {
+		r.isHullBuf = make([]bool, len(v.members))
+	}
+	isHull := r.isHullBuf[:len(v.members)]
+	for i := range isHull {
+		isHull[i] = false
+	}
+	vcPts, vePts := r.vcPts[:0], r.vePts[:0]
 	for _, pos := range hullPos {
 		isHull[pos] = true
 		switch c.Classify(inst.HS[v.members[pos]], r.fast()) {
 		case geom.Covers:
 			gc = append(gc, pos)
-			vc = append(vc, pos)
+			vcPts = append(vcPts, inst.WProj[v.members[pos]])
 		case geom.Excludes:
 			ge = append(ge, pos)
-			ve = append(ve, pos)
+			vePts = append(vePts, inst.WProj[v.members[pos]])
 		default:
 			gi = append(gi, pos)
 		}
 	}
-	var vcPts, vePts []geom.Vector
-	for _, pos := range vc {
-		vcPts = append(vcPts, inst.WProj[v.members[pos]])
-	}
-	for _, pos := range ve {
-		vePts = append(vePts, inst.WProj[v.members[pos]])
-	}
+	r.vcPts, r.vePts = vcPts, vePts
 	for pos := range v.members {
 		if isHull[pos] {
 			continue
@@ -645,8 +678,10 @@ func (r *aaRun) inHull(q geom.Vector, pts []geom.Vector) bool {
 }
 
 // hullOfPositions returns the subset of positions whose weight vectors are
-// hull vertices among the given positions.
-func hullOfPositions(inst *Instance, v *view, positions []int) []int {
+// hull vertices among the given positions. The point list is assembled in
+// the run's reusable scratch (the run loop is single-goroutine).
+func (r *aaRun) hullOfPositions(v *view, positions []int) []int {
+	inst := r.inst
 	if inst.Dim == 2 {
 		// Members are sorted by w[1]; the extremes are first and last.
 		if len(positions) <= 2 {
@@ -654,7 +689,10 @@ func hullOfPositions(inst *Instance, v *view, positions []int) []int {
 		}
 		return []int{positions[0], positions[len(positions)-1]}
 	}
-	pts := make([]geom.Vector, len(positions))
+	if cap(r.ptsBuf) < len(positions) {
+		r.ptsBuf = make([]geom.Vector, len(positions))
+	}
+	pts := r.ptsBuf[:len(positions)]
 	for i, pos := range positions {
 		pts[i] = inst.WProj[v.members[pos]]
 	}
@@ -666,20 +704,22 @@ func hullOfPositions(inst *Instance, v *view, positions []int) []int {
 	return out
 }
 
-// subtractPositions returns the elements of all that are not in sub
-// (both ascending-compatible; uses a set for clarity).
-func subtractPositions(all, sub []int) []int {
-	drop := make(map[int]bool, len(sub))
-	for _, p := range sub {
-		drop[p] = true
-	}
-	var out []int
+// subtractPositions appends the elements of all that are not in sub to dst
+// and returns it. Both inputs are ascending (gi is sorted, and
+// hullOfPositions preserves its input order), so a two-pointer merge
+// suffices.
+func subtractPositions(all, sub, dst []int) []int {
+	j := 0
 	for _, p := range all {
-		if !drop[p] {
-			out = append(out, p)
+		for j < len(sub) && sub[j] < p {
+			j++
 		}
+		if j < len(sub) && sub[j] == p {
+			continue
+		}
+		dst = append(dst, p)
 	}
-	return out
+	return dst
 }
 
 // indexOfView locates v in the clone (clone preserves order, so this is

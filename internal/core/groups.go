@@ -151,7 +151,10 @@ type cellGroups struct {
 }
 
 func (cg *cellGroups) clone() *cellGroups {
-	vs := make([]*view, len(cg.views))
+	// One slot of spare capacity: insertGroup clones a list and then
+	// appends the opened view's remainder, which would otherwise force an
+	// immediate reallocation.
+	vs := make([]*view, len(cg.views), len(cg.views)+1)
 	copy(vs, cg.views)
 	return &cellGroups{views: vs}
 }

@@ -41,13 +41,20 @@ type Instance struct {
 	// Kth[i] identifies user i's top-k-th product (personal k).
 	Kth []topk.KthResult
 	// HS[i] is user i's influential halfspace {p : w_i·p >= S^k_{w_i}}.
+	// All normal vectors are rows of the contiguous wFlat backing, so the
+	// halfspace scans (classification, coverage counting) walk memory
+	// sequentially instead of chasing per-user heap vectors.
 	HS []geom.Halfspace
 	// WProj[i] is user i's weight vector projected to the (d-1)-dimensional
 	// weight space (the simplex constraint makes the last coordinate
-	// redundant); hull computations run in this space.
+	// redundant); hull computations run in this space. Each is a prefix of
+	// the corresponding wFlat row.
 	WProj []geom.Vector
 	// Groups partitions users by their top-k-th product.
 	Groups []*Group
+
+	// wFlat is the row-major |U|×d backing of the halfspace normals.
+	wFlat []float64
 }
 
 // NewInstance validates the inputs and performs the all-top-k
@@ -101,13 +108,18 @@ func NewInstanceWorkers(products []geom.Vector, users []topk.UserPref, workers i
 	inst.Kth = topk.AllTopKWorkers(products, users, workers)
 	inst.HS = make([]geom.Halfspace, len(users))
 	inst.WProj = make([]geom.Vector, len(users))
+	inst.wFlat = make([]float64, len(users)*d)
 	par.For(len(users), workers, func(i int) {
-		u := users[i]
-		inst.HS[i] = geom.Halfspace{W: u.W, T: inst.Kth[i].Score}
+		// Copy the user's weights into the instance's contiguous backing;
+		// the capped three-index slice keeps rows from growing into their
+		// neighbors.
+		row := geom.Vector(inst.wFlat[i*d : (i+1)*d : (i+1)*d])
+		copy(row, users[i].W)
+		inst.HS[i] = geom.Halfspace{W: row, T: inst.Kth[i].Score}
 		if d > 1 {
-			inst.WProj[i] = u.W[:d-1]
+			inst.WProj[i] = row[: d-1 : d-1]
 		} else {
-			inst.WProj[i] = u.W
+			inst.WProj[i] = row
 		}
 	})
 	inst.Groups = buildGroups(inst)

@@ -45,6 +45,12 @@ type Options struct {
 	// DisableGrouping makes every user its own group, degenerating AA
 	// toward BSL-style one-by-one insertion (extra ablation).
 	DisableGrouping bool
+	// DisablePruning turns off the arrangement's split-time redundancy
+	// elimination of cell H-representations (celltree.Tree.Prune). Pruning
+	// only changes the internal representation, never the point sets, so
+	// the computed region is identical either way; the switch exists for
+	// benchmarking and for the equivalence property tests.
+	DisablePruning bool
 }
 
 // Stats aggregates the algorithm-level counters reported in the paper's
@@ -67,6 +73,10 @@ type Stats struct {
 	// processing; GroupBatchHits counts whole groups decided by Lemma 3/4.
 	HullTests      int
 	GroupBatchHits int
+	// PruneLPTests and PrunedRows mirror the arrangement's split-time
+	// redundancy-elimination counters (zero when pruning is disabled).
+	PruneLPTests int
+	PrunedRows   int
 	// Iterations counts heap pops.
 	Iterations int
 }

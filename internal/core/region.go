@@ -57,9 +57,14 @@ func regionFromTree(tr *celltree.Tree, m int, st Stats) *Region {
 	st.FastTests = tr.Stats.FastTests
 	st.Reported = tr.Stats.Reported
 	st.Eliminated = tr.Stats.Eliminated
+	st.PruneLPTests = tr.Stats.PruneLPTests
+	st.PrunedRows = tr.Stats.PrunedRows
 	reg := &Region{Dim: tr.Dim, M: m, Stats: st}
 	for _, leaf := range tr.ReportedLeaves() {
-		reg.Cells = append(reg.Cells, leaf.Polytope())
+		// FullPolytope, not Polytope: the exported H-representation is the
+		// raw split history, independent of the arrangement's internal
+		// redundancy pruning.
+		reg.Cells = append(reg.Cells, leaf.FullPolytope())
 		reg.MBBs = append(reg.MBBs, [2]geom.Vector{leaf.MBBLo, leaf.MBBHi})
 	}
 	return reg

@@ -2,8 +2,7 @@ package geom
 
 import (
 	"sort"
-
-	"mir/internal/lp"
+	"sync"
 )
 
 // ExtremePoints returns the indices of the points of pts that are vertices
@@ -57,56 +56,85 @@ func extreme1D(pts []Vector) []int {
 	return []int{lo, hi}
 }
 
+// hull2DScratch holds the reusable working state of extreme2D; the sort
+// runs through the sort.Interface implementation so no per-call closures
+// escape. Only the returned vertex list is freshly allocated (callers cache
+// it).
+type hull2DScratch struct {
+	pts          []Vector
+	order        []int
+	lower, upper []int
+	seen         []bool
+}
+
+func (s *hull2DScratch) Len() int      { return len(s.order) }
+func (s *hull2DScratch) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+func (s *hull2DScratch) Less(a, b int) bool {
+	pa, pb := s.pts[s.order[a]], s.pts[s.order[b]]
+	if pa[0] != pb[0] {
+		return pa[0] < pb[0]
+	}
+	return pa[1] < pb[1]
+}
+
+var hull2DPool = sync.Pool{New: func() any { return new(hull2DScratch) }}
+
+func cross2D(o, a, b Vector) float64 {
+	return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+}
+
+// chain2D appends the monotone-chain hull of s.pts over s.order (walked
+// forward or backward) into hull and returns it.
+func chain2D(pts []Vector, order []int, backward bool, hull []int) []int {
+	for k := range order {
+		i := order[k]
+		if backward {
+			i = order[len(order)-1-k]
+		}
+		for len(hull) >= 2 &&
+			cross2D(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[i]) < -Eps {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	return hull
+}
+
 // extreme2D runs Andrew's monotone chain. Collinear boundary points are
 // retained (safe over-approximation of the vertex set).
 func extreme2D(pts []Vector) []int {
 	n := len(pts)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	s := hull2DPool.Get().(*hull2DScratch)
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+		s.seen = make([]bool, n)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := pts[order[a]], pts[order[b]]
-		if pa[0] != pb[0] {
-			return pa[0] < pb[0]
-		}
-		return pa[1] < pb[1]
-	})
-	cross := func(o, a, b Vector) float64 {
-		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	s.order = s.order[:n]
+	s.seen = s.seen[:n]
+	for i := range s.order {
+		s.order[i] = i
+		s.seen[i] = false
 	}
-	build := func(seq []int) []int {
-		var hull []int
-		for _, i := range seq {
-			for len(hull) >= 2 &&
-				cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[i]) < -Eps {
-				hull = hull[:len(hull)-1]
-			}
-			hull = append(hull, i)
-		}
-		return hull
-	}
-	lower := build(order)
-	rev := make([]int, n)
-	for i := range order {
-		rev[i] = order[n-1-i]
-	}
-	upper := build(rev)
-	seen := make(map[int]bool, len(lower)+len(upper))
+	s.pts = pts
+	sort.Sort(s)
+	s.lower = chain2D(pts, s.order, false, s.lower[:0])
+	s.upper = chain2D(pts, s.order, true, s.upper[:0])
 	var out []int
-	for _, i := range lower {
-		if !seen[i] {
-			seen[i] = true
+	for _, i := range s.lower {
+		if !s.seen[i] {
+			s.seen[i] = true
 			out = append(out, i)
 		}
 	}
-	for _, i := range upper {
-		if !seen[i] {
-			seen[i] = true
+	for _, i := range s.upper {
+		if !s.seen[i] {
+			s.seen[i] = true
 			out = append(out, i)
 		}
 	}
 	sort.Ints(out)
+	s.pts = nil
+	hull2DPool.Put(s)
 	return out
 }
 
@@ -137,34 +165,44 @@ func extremeLP(pts []Vector) []int {
 // the feasibility program: alpha >= 0, sum(alpha) = 1, sum(alpha_j pts_j) =
 // q. Exact equalities are used, so borderline points round toward "not in
 // hull" — the safe direction for vertex-set computations.
+//
+// The program is assembled into a pooled flat scratch and solved on the
+// scratch's reusable workspace: this is AA's inner-group hot path and runs
+// allocation-free in steady state.
 func InConvexHull(q Vector, pts []Vector) bool {
 	n := len(pts)
 	if n == 0 {
 		return false
 	}
 	dim := len(q)
-	// 2*(dim+1) inequality rows encode the dim+1 equalities.
-	A := make([][]float64, 0, 2*(dim+1))
-	b := make([]float64, 0, 2*(dim+1))
+	s := feaserPool.Get().(*feaserScratch)
+	defer feaserPool.Put(s)
+	// 2*(dim+1) inequality rows encode the dim+1 equalities, in the same
+	// row order as the original implementation (pos/neg pairs per
+	// coordinate, then the two convexity rows).
+	rows := 2 * (dim + 1)
+	A := growFloat(&s.aFlat, rows*n)
+	b := growFloat(&s.bBuf, rows)
 	for t := 0; t < dim; t++ {
-		pos := make([]float64, n)
-		neg := make([]float64, n)
+		pos := A[(2*t)*n : (2*t+1)*n]
+		neg := A[(2*t+1)*n : (2*t+2)*n]
 		for j := 0; j < n; j++ {
-			pos[j] = pts[j][t]
-			neg[j] = -pts[j][t]
+			v := pts[j][t]
+			pos[j] = v
+			neg[j] = -v
 		}
-		A = append(A, pos, neg)
-		b = append(b, q[t]+hullTol, -q[t]+hullTol)
+		b[2*t] = q[t] + hullTol
+		b[2*t+1] = -q[t] + hullTol
 	}
-	ones := make([]float64, n)
-	negOnes := make([]float64, n)
+	ones := A[2*dim*n : (2*dim+1)*n]
+	negOnes := A[(2*dim+1)*n : (2*dim+2)*n]
 	for j := 0; j < n; j++ {
 		ones[j] = 1
 		negOnes[j] = -1
 	}
-	A = append(A, ones, negOnes)
-	b = append(b, 1+hullTol, -1+hullTol)
-	ok, _ := lp.Feasible(A, b)
+	b[2*dim] = 1 + hullTol
+	b[2*dim+1] = -1 + hullTol
+	ok, _ := s.w.FeasibleFlat(n, A, b)
 	return ok
 }
 

@@ -33,6 +33,14 @@ func (r Relation) String() string {
 // ClassifyTol is the tolerance used when deciding whether a halfspace
 // covers, excludes, or cuts a polytope. Intersections thinner than this are
 // treated as boundary touches (measure zero) and do not count as cuts.
+//
+// ClassifyTol is the authoritative constant for geometric classification
+// decisions, just as lp.Eps (1e-9) is the authoritative constant for
+// numerical-zero questions inside the simplex solvers. The two are
+// deliberately two orders of magnitude apart: every classification runs as
+// feasibility tests on slabs of half-width ClassifyTol, so LP answers would
+// have to be wrong by 100x their pivot tolerance to flip a relation.
+// tolerance_test.go pins both the ordering and the boundary stability.
 const ClassifyTol = 1e-7
 
 // Polytope is a convex region in H-representation: the intersection of the
@@ -96,22 +104,6 @@ func (p *Polytope) With(h Halfspace) *Polytope {
 // Append adds h to p in place.
 func (p *Polytope) Append(h Halfspace) { p.Hs = append(p.Hs, h) }
 
-// lpConstraints converts the H-representation to the A x <= b form used by
-// the simplex solver: W·x >= T becomes -W·x <= -T.
-func (p *Polytope) lpConstraints() ([][]float64, []float64) {
-	A := make([][]float64, len(p.Hs))
-	b := make([]float64, len(p.Hs))
-	for i, h := range p.Hs {
-		row := make([]float64, p.Dim)
-		for j := range row {
-			row[j] = -h.W[j]
-		}
-		A[i] = row
-		b[i] = -h.T
-	}
-	return A, b
-}
-
 // IsEmpty reports whether the polytope has no points (up to tolerance).
 func (p *Polytope) IsEmpty() bool {
 	f := feaserPool.Get().(*feaserScratch)
@@ -121,32 +113,48 @@ func (p *Polytope) IsEmpty() bool {
 }
 
 // FeasiblePoint returns a point of the polytope, or ok=false when empty.
+// The returned vector is caller-owned.
 func (p *Polytope) FeasiblePoint() (Vector, bool) {
-	A, b := p.lpConstraints()
-	ok, x := lp.Feasible(A, b)
+	s := feaserPool.Get().(*feaserScratch)
+	defer feaserPool.Put(s)
+	A, b := s.loadLP(p)
+	ok, x := s.w.FeasibleFlat(p.Dim, A, b)
 	if !ok {
 		return nil, false
 	}
-	return Vector(x), true
+	return Vector(append([]float64(nil), x...)), true
 }
 
 // Maximize returns max obj·x over the polytope along with a maximizer.
 // ok is false when the polytope is empty or the program is unbounded
-// (which cannot happen for the box-bounded cells used by mIR).
+// (which cannot happen for the box-bounded cells used by mIR). The
+// returned vector is caller-owned.
 func (p *Polytope) Maximize(obj Vector) (val float64, arg Vector, ok bool) {
-	A, b := p.lpConstraints()
-	r := lp.Maximize(obj, A, b)
+	s := feaserPool.Get().(*feaserScratch)
+	defer feaserPool.Put(s)
+	A, b := s.loadLP(p)
+	r := s.w.MaximizeFlat(obj, A, b)
 	if r.Status != lp.Optimal {
 		return 0, nil, false
 	}
-	return r.Obj, Vector(r.X), true
+	return r.Obj, Vector(append([]float64(nil), r.X...)), true
 }
 
 // Minimize returns min obj·x over the polytope along with a minimizer.
+// The returned vector is caller-owned.
 func (p *Polytope) Minimize(obj Vector) (val float64, arg Vector, ok bool) {
-	neg := obj.Scale(-1)
-	v, x, ok := p.Maximize(neg)
-	return -v, x, ok
+	s := feaserPool.Get().(*feaserScratch)
+	defer feaserPool.Put(s)
+	neg := growFloat(&s.cBuf, len(obj))
+	for i, v := range obj {
+		neg[i] = -v
+	}
+	A, b := s.loadLP(p)
+	r := s.w.MaximizeFlat(neg, A, b)
+	if r.Status != lp.Optimal {
+		return 0, nil, false
+	}
+	return -r.Obj, Vector(append([]float64(nil), r.X...)), true
 }
 
 // Classify determines the relation between the polytope and halfspace h.
@@ -188,23 +196,32 @@ func (p *Polytope) Classify(h Halfspace) Relation {
 }
 
 // MBB returns the minimum bounding box of the polytope as (lo, hi) corner
-// vectors. ok is false when the polytope is empty.
+// vectors. ok is false when the polytope is empty. The 2d directional
+// solves share one pooled workspace and constraint load.
 func (p *Polytope) MBB() (lo, hi Vector, ok bool) {
+	s := feaserPool.Get().(*feaserScratch)
+	defer feaserPool.Put(s)
+	A, b := s.loadLP(p)
 	lo = make(Vector, p.Dim)
 	hi = make(Vector, p.Dim)
-	obj := make(Vector, p.Dim)
+	obj := growFloat(&s.cBuf, p.Dim)
+	for i := range obj {
+		obj[i] = 0
+	}
 	for i := 0; i < p.Dim; i++ {
+		// min x_i = -max(-x_i).
+		obj[i] = -1
+		r := s.w.MaximizeFlat(obj, A, b)
+		if r.Status != lp.Optimal {
+			return nil, nil, false
+		}
+		lo[i] = -r.Obj
 		obj[i] = 1
-		v, _, vok := p.Minimize(obj)
-		if !vok {
+		r = s.w.MaximizeFlat(obj, A, b)
+		if r.Status != lp.Optimal {
 			return nil, nil, false
 		}
-		lo[i] = v
-		v, _, vok = p.Maximize(obj)
-		if !vok {
-			return nil, nil, false
-		}
-		hi[i] = v
+		hi[i] = r.Obj
 		obj[i] = 0
 	}
 	return lo, hi, true

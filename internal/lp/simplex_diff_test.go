@@ -1,0 +1,166 @@
+package lp
+
+// Differential tests: the flat, allocation-free Workspace simplex against
+// the seed's slice-of-slices implementation (simplex_ref_test.go). Both
+// implement the identical pivoting rules, so statuses must agree exactly
+// and optimal objectives within 1e-7 on every random program.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomLP draws a small random program in the shape the geometry kernel
+// issues: n in [1,6], m in [1,24], Gaussian rows, box rows appended with
+// probability 3/4 (bounded programs), mixed-sign right-hand sides (phase-1
+// coverage).
+func randomLP(rng *rand.Rand) (c []float64, A [][]float64, b []float64) {
+	n := 1 + rng.Intn(6)
+	m := 1 + rng.Intn(24)
+	c = make([]float64, n)
+	for j := range c {
+		c[j] = rng.NormFloat64()
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		A = append(A, row)
+		b = append(b, rng.NormFloat64())
+	}
+	if rng.Intn(4) > 0 {
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			A = append(A, row)
+			b = append(b, 1+rng.Float64())
+		}
+	}
+	return c, A, b
+}
+
+func compareResults(t *testing.T, trial int, got, want Result) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Fatalf("trial %d: status %v, ref %v", trial, got.Status, want.Status)
+	}
+	if got.Status != Optimal {
+		return
+	}
+	if math.Abs(got.Obj-want.Obj) > 1e-7*(1+math.Abs(want.Obj)) {
+		t.Fatalf("trial %d: obj %.12g, ref %.12g", trial, got.Obj, want.Obj)
+	}
+}
+
+// TestWorkspaceMatchesSeedImplementation reuses one Workspace across every
+// trial, so any state leaking between solves diverges from the
+// fresh-tableau reference.
+func TestWorkspaceMatchesSeedImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	var w Workspace
+	for trial := 0; trial < 1500; trial++ {
+		c, A, b := randomLP(rng)
+		got := w.Maximize(c, A, b)
+		ref := refMaximize(c, A, b)
+		compareResults(t, trial, got, ref)
+		if got.Status == Optimal {
+			for j := range got.X {
+				if math.Abs(got.X[j]-ref.X[j]) > 1e-7 {
+					t.Fatalf("trial %d: x[%d] = %.12g, ref %.12g", trial, j, got.X[j], ref.X[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFlatEntryPointsMatchSeed drives the flat-matrix entry points
+// (MaximizeFlat, FeasibleFlat) against the reference on the same programs.
+func TestFlatEntryPointsMatchSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	var w Workspace
+	for trial := 0; trial < 800; trial++ {
+		c, A, b := randomLP(rng)
+		n := len(c)
+		flat := make([]float64, 0, n*len(A))
+		for _, row := range A {
+			flat = append(flat, row...)
+		}
+		got := w.MaximizeFlat(c, flat, b)
+		ref := refMaximize(c, A, b)
+		compareResults(t, trial, got, ref)
+
+		gotFeas, _ := w.FeasibleFlat(n, flat, b)
+		refFeas, _ := refFeasible(A, b)
+		if gotFeas != refFeas {
+			t.Fatalf("trial %d: FeasibleFlat=%v, ref=%v", trial, gotFeas, refFeas)
+		}
+	}
+}
+
+// TestPackageWrappersDetachX checks that the pooled package-level wrappers
+// hand back caller-owned solution vectors: a second solve must not clobber
+// an earlier result.
+func TestPackageWrappersDetachX(t *testing.T) {
+	A := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	b := []float64{4, 12, 18}
+	r1 := Maximize([]float64{3, 5}, A, b)
+	saved := append([]float64(nil), r1.X...)
+	for i := 0; i < 50; i++ {
+		Maximize([]float64{float64(i), 1}, A, b)
+		Feasible(A, b)
+	}
+	for j := range saved {
+		if r1.X[j] != saved[j] {
+			t.Fatalf("Result.X mutated by later pooled solves: %v vs %v", r1.X, saved)
+		}
+	}
+}
+
+// FuzzWorkspaceVsSeed is the fuzz form of the differential test: the fuzzer
+// mutates a seed stream that deterministically expands into a small LP.
+func FuzzWorkspaceVsSeed(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		c, A, b := randomLP(rng)
+		var w Workspace
+		got := w.Maximize(c, A, b)
+		ref := refMaximize(c, A, b)
+		if got.Status != ref.Status {
+			t.Fatalf("status %v, ref %v (seed %d)", got.Status, ref.Status, seed)
+		}
+		if got.Status == Optimal && math.Abs(got.Obj-ref.Obj) > 1e-7*(1+math.Abs(ref.Obj)) {
+			t.Fatalf("obj %.12g, ref %.12g (seed %d)", got.Obj, ref.Obj, seed)
+		}
+	})
+}
+
+// TestWorkspaceSteadyStateAllocs pins the tentpole property: after warm-up,
+// solves on a reused workspace allocate nothing.
+func TestWorkspaceSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	c, A, b := randomLP(rng)
+	n := len(c)
+	flat := make([]float64, 0, n*len(A))
+	for _, row := range A {
+		flat = append(flat, row...)
+	}
+	var w Workspace
+	w.MaximizeFlat(c, flat, b) // warm-up sizes the buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		w.MaximizeFlat(c, flat, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("MaximizeFlat allocates %.1f objects per solve on a warm workspace, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		w.FeasibleFlat(n, flat, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("FeasibleFlat allocates %.1f objects per solve on a warm workspace, want 0", allocs)
+	}
+}

@@ -1,0 +1,314 @@
+package lp
+
+// This file preserves the seed's slice-of-slices two-phase simplex verbatim
+// (renamed ref*) as a differential-testing oracle for the flat Workspace
+// implementation in simplex.go. It exists only under test; see
+// simplex_diff_test.go for the property and fuzz harnesses that pit the two
+// against each other.
+
+import (
+	"fmt"
+	"math"
+)
+
+// refMinimize is referenced only to keep the oracle surface complete.
+var _ = refMinimize
+
+// refTableau is a dense simplex refTableau. Rows 0..m-1 are constraints, row m is
+// the objective. Columns 0..nCols-2 are variables (structural, slack,
+// artificial), column nCols-1 is the right-hand side.
+type refTableau struct {
+	m, n    int // constraints, structural variables
+	nSlack  int
+	nArt    int
+	rows    [][]float64
+	basis   []int // basis[i] = column basic in row i
+	obj     []float64
+	rhsCol  int
+	degIter int // consecutive degenerate pivots; switches to Bland's rule
+}
+
+// Maximize solves max c·x subject to A x <= b, x >= 0.
+//
+// A is given row-major; every row must have len(c) entries. b entries may be
+// negative (phase 1 handles them). The returned Result.X has len(c) entries.
+func refMaximize(c []float64, A [][]float64, b []float64) Result {
+	n := len(c)
+	m := len(A)
+	for i, row := range A {
+		if len(row) != n {
+			panic(fmt.Sprintf("lp: row %d has %d entries, want %d", i, len(row), n))
+		}
+	}
+	if len(b) != m {
+		panic(fmt.Sprintf("lp: len(b)=%d, want %d", len(b), m))
+	}
+
+	t := refNewTableau(c, A, b)
+	if t.nArt > 0 {
+		if !t.phase1() {
+			return Result{Status: Infeasible}
+		}
+	}
+	return t.phase2()
+}
+
+// Minimize solves min c·x subject to A x <= b, x >= 0 by negating the
+// objective.
+func refMinimize(c []float64, A [][]float64, b []float64) Result {
+	neg := make([]float64, len(c))
+	for i, v := range c {
+		neg[i] = -v
+	}
+	r := refMaximize(neg, A, b)
+	if r.Status == Optimal {
+		r.Obj = -r.Obj
+	}
+	return r
+}
+
+// Feasible reports whether {x : A x <= b, x >= 0} is non-empty, and returns
+// a witness point when it is.
+func refFeasible(A [][]float64, b []float64) (bool, []float64) {
+	n := 0
+	if len(A) > 0 {
+		n = len(A[0])
+	}
+	r := refMaximize(make([]float64, n), A, b)
+	if r.Status != Optimal {
+		return false, nil
+	}
+	return true, r.X
+}
+
+func refNewTableau(c []float64, A [][]float64, b []float64) *refTableau {
+	m, n := len(A), len(c)
+	t := &refTableau{m: m, n: n, nSlack: m}
+	// Count artificials: one per row whose (sign-normalized) RHS forces an
+	// infeasible slack start.
+	for i := 0; i < m; i++ {
+		if b[i] < -Eps {
+			t.nArt++
+		}
+	}
+	nCols := n + t.nSlack + t.nArt + 1
+	t.rhsCol = nCols - 1
+	t.rows = make([][]float64, m)
+	t.basis = make([]int, m)
+	art := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, nCols)
+		sign := 1.0
+		if b[i] < -Eps {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * A[i][j]
+		}
+		row[n+i] = sign // slack (surplus when sign = -1)
+		row[t.rhsCol] = sign * b[i]
+		if sign < 0 {
+			col := n + t.nSlack + art
+			row[col] = 1
+			t.basis[i] = col
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.rows[i] = row
+	}
+	t.obj = c
+	return t
+}
+
+// phase1 drives the artificial variables to zero. It returns false when the
+// original system is infeasible.
+func (t *refTableau) phase1() bool {
+	nCols := t.rhsCol + 1
+	// Phase-1 objective: minimize the sum of artificials, i.e. maximize
+	// their negated sum. With cost -1 on each artificial, the reduced-cost
+	// row is z = cB·B⁻¹A - c, which for the initial basis equals minus the
+	// sum of the rows holding artificial basics (and zero on the artificial
+	// columns themselves, which iterate never enters anyway).
+	z := make([]float64, nCols)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.n+t.nSlack {
+			for j := 0; j < nCols; j++ {
+				z[j] -= t.rows[i][j]
+			}
+		}
+	}
+	if !t.iterate(z, t.n+t.nSlack) {
+		// Phase 1 is bounded, so a false return signals numerical trouble;
+		// the safe answer is infeasible.
+		return false
+	}
+	// z[rhsCol] tracks the phase-1 objective (minus the artificial sum);
+	// the system is feasible iff it reached (numerically) zero.
+	if z[t.rhsCol] < -1e-7 {
+		return false
+	}
+	// Pivot any artificial variables that remain basic (at zero level) out of
+	// the basis so that phase 2 never re-enters them.
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n+t.nSlack {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.n+t.nSlack; j++ {
+			if math.Abs(t.rows[i][j]) > Eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// The row is all-zero over real variables: redundant constraint.
+			// Leave the artificial basic at level zero; mark the row inert by
+			// zeroing it (it can never be chosen as a ratio-test row with a
+			// positive pivot element).
+			for j := 0; j <= t.rhsCol; j++ {
+				t.rows[i][j] = 0
+			}
+		}
+	}
+	return true
+}
+
+// phase2 optimizes the true objective from the current feasible basis.
+func (t *refTableau) phase2() Result {
+	nCols := t.rhsCol + 1
+	// Build the reduced-cost row for max c·x: z[j] = cB·B^-1 A_j - c_j, kept
+	// implicitly by starting from -c and adding multiples of basic rows.
+	z := make([]float64, nCols)
+	for j := 0; j < t.n; j++ {
+		z[j] = -t.obj[j]
+	}
+	for i := 0; i < t.m; i++ {
+		bj := t.basis[i]
+		if bj < t.n && t.obj[bj] != 0 {
+			coef := t.obj[bj]
+			for j := 0; j < nCols; j++ {
+				z[j] += coef * t.rows[i][j]
+			}
+		}
+	}
+	if !t.iterate(z, t.n+t.nSlack) {
+		return Result{Status: Unbounded}
+	}
+	x := make([]float64, t.n)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n {
+			x[t.basis[i]] = t.rows[i][t.rhsCol]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < t.n; j++ {
+		if x[j] < 0 && x[j] > -Eps {
+			x[j] = 0
+		}
+		obj += t.obj[j] * x[j]
+	}
+	return Result{Status: Optimal, X: x, Obj: obj}
+}
+
+// iterate runs simplex pivots on the given reduced-cost row until optimality
+// (returns true) or unboundedness (returns false). Columns >= limit (the
+// artificials during phase 2) are never entered.
+func (t *refTableau) iterate(z []float64, limit int) bool {
+	for iter := 0; iter < maxIter; iter++ {
+		col := t.chooseEntering(z, limit)
+		if col < 0 {
+			return true // optimal
+		}
+		row := t.ratioTest(col)
+		if row < 0 {
+			return false // unbounded
+		}
+		if t.rows[row][t.rhsCol] < Eps {
+			t.degIter++
+		} else {
+			t.degIter = 0
+		}
+		t.pivot(row, col)
+		// Update the reduced-cost row with the same elimination.
+		coef := z[col]
+		if coef != 0 {
+			for j := 0; j <= t.rhsCol; j++ {
+				z[j] -= coef * t.rows[row][j]
+			}
+			z[col] = 0
+		}
+	}
+	// Hitting the iteration cap on these tiny programs indicates numerical
+	// trouble; report the safest answer for each phase. Phase 1 treats it as
+	// infeasible, phase 2 as unbounded — both surface as errors upstream.
+	return false
+}
+
+// chooseEntering picks the entering column: Dantzig's rule normally, Bland's
+// rule after a run of degenerate pivots (anti-cycling).
+func (t *refTableau) chooseEntering(z []float64, limit int) int {
+	if t.degIter > 2*(t.m+t.n) {
+		for j := 0; j < limit; j++ {
+			if z[j] < -Eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -Eps
+	for j := 0; j < limit; j++ {
+		if z[j] < bestVal {
+			bestVal = z[j]
+			best = j
+		}
+	}
+	return best
+}
+
+// ratioTest picks the leaving row for the entering column, breaking ties by
+// smallest basis index (part of Bland's anti-cycling guarantee).
+func (t *refTableau) ratioTest(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][col]
+		if a <= Eps {
+			continue
+		}
+		ratio := t.rows[i][t.rhsCol] / a
+		if ratio < bestRatio-Eps ||
+			(ratio < bestRatio+Eps && bestRow >= 0 && t.basis[i] < t.basis[bestRow]) {
+			bestRatio = ratio
+			bestRow = i
+		}
+	}
+	return bestRow
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func (t *refTableau) pivot(row, col int) {
+	pr := t.rows[row]
+	p := pr[col]
+	inv := 1 / p
+	for j := 0; j <= t.rhsCol; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := 0; j <= t.rhsCol; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	t.basis[row] = col
+}

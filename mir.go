@@ -78,6 +78,10 @@ type Options struct {
 	Disable2DSpecialization bool
 	// DisableGrouping treats every user as a singleton group.
 	DisableGrouping bool
+	// DisableRedundancyPruning turns off the arrangement's split-time
+	// redundancy elimination of cell H-representations. The computed region
+	// is identical either way; the switch exists for benchmarking.
+	DisableRedundancyPruning bool
 }
 
 // Strategy selects AA's group-insertion order.
@@ -103,6 +107,7 @@ func (o *Options) toCore() core.Options {
 		DisableInnerGroup: o.DisableInnerGroupProcessing,
 		Disable2D:         o.Disable2DSpecialization,
 		DisableGrouping:   o.DisableGrouping,
+		DisablePruning:    o.DisableRedundancyPruning,
 	}
 }
 
