@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json ci
+.PHONY: all vet build test race race-hammer bench-smoke bench bench-json bench-check ci
 
 all: ci
 
@@ -16,6 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hammer the concurrency surface under the race detector: the frontier
+# scheduler, the steal deque, and every cross-worker-count determinism
+# property. `race` already runs these once; the hammer re-runs just them
+# with -count=3 so scheduling-dependent interleavings get more chances to
+# bite.
+race-hammer:
+	$(GO) test -race -count=3 -run 'Parallel|Steal|Concurrent|Frontier' ./...
+
 # One iteration of the sequential-vs-parallel benchmark pair, as a smoke
 # test that the instrumented paths still run (timings are not meaningful at
 # -benchtime=1x).
@@ -27,10 +35,18 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Machine-readable AA benchmark matrix (wall time, allocs/op, LP-call
-# counters per dataset and pruning setting). CI regenerates and uploads
-# this; the committed copy is the reference point for regressions.
+# Machine-readable AA benchmark matrix (wall time, allocs/op, LP-call and
+# scheduler counters per dataset, pruning setting, and worker count). CI
+# regenerates and uploads this; the committed copy is the reference point
+# for regressions.
 bench-json:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.json
 
-ci: vet build race bench-smoke
+# Regenerate the matrix to a scratch path and gate it against the
+# committed BENCH_AA.json: fails if any workers=1 row allocates more than
+# 10% over the reference (single-worker allocation counts are
+# deterministic, so that margin is pure headroom). Wall times never gate.
+bench-check:
+	$(GO) run ./cmd/mirbench -json BENCH_AA.ci.json -baseline BENCH_AA.json
+
+ci: vet build race race-hammer bench-smoke

@@ -287,21 +287,22 @@ func BenchmarkAllTopK(b *testing.B) {
 	}
 }
 
-// BenchmarkAAParallel compares a full ImpactRegion query with the engine
-// pinned to one worker against the default all-cores configuration, on the
-// IND workload. The answers are identical (see TestAAWorkersMatchSequential);
-// only the wall clock differs.
+// BenchmarkAAParallel sweeps a full ImpactRegion query across worker
+// counts on the IND workload: 1 worker runs the historical sequential
+// best-first loop, >1 workers run the task-parallel frontier scheduler.
+// The answers are byte-identical at every count (see
+// TestFrontierParallelByteIdentical); only the wall clock differs. The
+// speedup curve is only meaningful up to runtime.NumCPU() — on fewer
+// cores the extra workers just take turns.
 func BenchmarkAAParallel(b *testing.B) {
-	for _, cfg := range []struct {
-		name    string
-		workers int
-	}{
-		{"workers=1", 1},
-		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), 0},
-	} {
-		b.Run(cfg.name, func(b *testing.B) {
+	workerCounts := []int{1, 2, 4, 8}
+	if max := runtime.GOMAXPROCS(0); max != 1 && max != 2 && max != 4 && max != 8 {
+		workerCounts = append(workerCounts, max)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			an := benchAnalyzer(b, Independent, Clustered, benchP, benchU, benchD, benchK,
-				&Options{Workers: cfg.workers})
+				&Options{Workers: w})
 			runRegion(b, an, benchU/2)
 		})
 	}

@@ -11,15 +11,19 @@ import (
 )
 
 // The -json mode freezes the AA benchmark of bench_test.go into a
-// machine-readable artifact: per product distribution (IND/COR/ANTI) and
-// pruning setting, the wall time, allocation profile, and the
-// arrangement's LP-call counters. CI regenerates the file on every run and
+// machine-readable artifact: per product distribution (IND/COR/ANTI),
+// pruning setting, and worker count, the wall time, allocation profile,
+// the arrangement's LP-call counters, and (at workers > 1) the frontier
+// scheduler's execution profile. CI regenerates the file on every run and
 // uploads it, so performance regressions show up as diffs against the
-// committed BENCH_AA.json rather than as anecdotes.
+// committed BENCH_AA.json rather than as anecdotes; the workers=1 rows
+// additionally gate CI through -baseline (see checkBaseline).
 //
 // The workload matches the in-repo Go benchmarks (BenchmarkAAParallel):
-// |P|=5000, |U|=80 clustered users, d=3, k=10, m=|U|/2, Workers=1 for
-// run-to-run determinism. Only the seed is taken from the command line.
+// |P|=5000, |U|=80 clustered users, d=3, k=10, m=|U|/2. The matrix runs
+// workers=1 with pruning on and off (the deterministic reference rows),
+// then workers=2 and 4 with pruning on (the scaling rows). Only the seed
+// is taken from the command line.
 const (
 	jsonBenchP    = 5000
 	jsonBenchU    = 80
@@ -28,7 +32,8 @@ const (
 	jsonBenchRuns = 3
 )
 
-// benchResult is one (dataset, pruning) cell of the benchmark matrix.
+// benchResult is one (dataset, pruning, workers) cell of the benchmark
+// matrix.
 type benchResult struct {
 	Dataset  string `json:"dataset"`
 	Products int    `json:"products"`
@@ -37,6 +42,7 @@ type benchResult struct {
 	K        int    `json:"k"`
 	M        int    `json:"m"`
 	Pruning  bool   `json:"pruning"`
+	Workers  int    `json:"workers"`
 	Runs     int    `json:"runs"`
 
 	// WallSeconds is the fastest of Runs measured executions (the standard
@@ -52,8 +58,16 @@ type benchResult struct {
 	// Stats carries the algorithm counters, including the LP-call numbers:
 	// ContainmentTests (classification feasibility solves), HullTests
 	// (convex-hull membership solves), and PruneLPTests / PrunedRows from
-	// split-time redundancy elimination.
+	// split-time redundancy elimination. Every recorded counter is
+	// deterministic across worker counts; the schedule-sensitive
+	// StealCount and MaxFrontier are zeroed here and reported under Sched.
 	Stats core.Stats `json:"stats"`
+
+	// Sched is the frontier scheduler's execution profile (steal traffic,
+	// peak frontier width, per-worker cell loads) from the warm-up run.
+	// Present only at Workers > 1; its numbers vary run to run — the
+	// scheduler promises identical results, not identical schedules.
+	Sched *core.SchedStats `json:"sched,omitempty"`
 }
 
 // benchReport is the top-level BENCH_AA.json document.
@@ -67,8 +81,22 @@ type benchReport struct {
 	Results   []benchResult `json:"results"`
 }
 
-// runJSONBench measures the AA matrix and writes the report to path.
-func runJSONBench(cfg config, path string) error {
+// jsonBenchMatrix is the (pruning, workers) grid measured per dataset.
+var jsonBenchMatrix = []struct {
+	pruning bool
+	workers int
+}{
+	{true, 1},
+	{false, 1},
+	{true, 2},
+	{true, 4},
+}
+
+// runJSONBench measures the AA matrix and writes the report to path. When
+// baselinePath is non-empty the fresh report is then gated against the
+// committed reference (see checkBaseline) and an error is returned on
+// regression.
+func runJSONBench(cfg config, path, baselinePath string) error {
 	report := benchReport{
 		Command:   "mirbench -json",
 		GoVersion: runtime.Version(),
@@ -80,8 +108,8 @@ func runJSONBench(cfg config, path string) error {
 	m := jsonBenchU / 2
 	for _, dataset := range []string{"IND", "COR", "ANTI"} {
 		inst := cfg.instance(dataset, "CL", jsonBenchP, jsonBenchU, jsonBenchD, jsonBenchK, 101)
-		for _, pruning := range []bool{true, false} {
-			opts := core.Options{Workers: 1, DisablePruning: !pruning}
+		for _, cell := range jsonBenchMatrix {
+			opts := core.Options{Workers: cell.workers, DisablePruning: !cell.pruning}
 			res := benchResult{
 				Dataset:  dataset,
 				Products: jsonBenchP,
@@ -89,17 +117,22 @@ func runJSONBench(cfg config, path string) error {
 				Dim:      jsonBenchD,
 				K:        jsonBenchK,
 				M:        m,
-				Pruning:  pruning,
+				Pruning:  cell.pruning,
+				Workers:  cell.workers,
 				Runs:     jsonBenchRuns,
 			}
 			// Warm-up run: populates the scratch pools and JIT-independent
 			// caches so the measured runs see steady state, and supplies the
-			// Stats (identical across runs at Workers=1).
+			// Stats (the recorded counters are identical across runs and
+			// worker counts; see TestFrontierParallelByteIdentical).
 			reg, err := core.AA(inst, m, opts)
 			if err != nil {
-				return fmt.Errorf("%s pruning=%v: %w", dataset, pruning, err)
+				return fmt.Errorf("%s pruning=%v workers=%d: %w",
+					dataset, cell.pruning, cell.workers, err)
 			}
 			res.Stats = reg.Stats
+			res.Stats.StealCount, res.Stats.MaxFrontier = 0, 0
+			res.Sched = reg.Sched
 
 			var allocs, bytes uint64
 			best := -1.0
@@ -123,9 +156,9 @@ func runJSONBench(cfg config, path string) error {
 			res.AllocsPerOp = allocs / jsonBenchRuns
 			res.BytesPerOp = bytes / jsonBenchRuns
 			report.Results = append(report.Results, res)
-			fmt.Printf("%-5s pruning=%-5v  %8.3fs  %9d allocs/op  %9d prune-LPs  %6d rows pruned\n",
-				dataset, pruning, res.WallSeconds, res.AllocsPerOp,
-				res.Stats.PruneLPTests, res.Stats.PrunedRows)
+			fmt.Printf("%-5s pruning=%-5v workers=%d  %8.3fs  %9d allocs/op  %9d prune-LPs  %6d steals\n",
+				dataset, cell.pruning, cell.workers, res.WallSeconds, res.AllocsPerOp,
+				res.Stats.PruneLPTests, schedSteals(res.Sched))
 		}
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -137,5 +170,91 @@ func runJSONBench(cfg config, path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if baselinePath != "" {
+		return checkBaseline(report, baselinePath)
+	}
 	return nil
+}
+
+func schedSteals(s *core.SchedStats) int {
+	if s == nil {
+		return 0
+	}
+	return s.Steals
+}
+
+// allocRegressionTolerance is the allowed growth of workers=1 allocs/op
+// over the committed baseline before checkBaseline fails: allocation
+// counts at one worker are deterministic, so anything past noise is a
+// real regression (a lost pooled buffer, a reintroduced per-cell clone).
+const allocRegressionTolerance = 1.10
+
+// checkBaseline compares the fresh report's workers=1 rows against the
+// committed BENCH_AA.json and fails on an allocs/op regression beyond
+// allocRegressionTolerance. Only the single-worker rows gate: their
+// allocation counts are exactly reproducible, while multi-worker rows
+// jitter with the schedule (per-worker scratch grows with steal traffic).
+// Wall times never gate — CI machines are too noisy for that.
+func checkBaseline(fresh benchReport, baselinePath string) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	type key struct {
+		dataset string
+		pruning bool
+	}
+	ref := make(map[key]uint64)
+	for _, r := range base.Results {
+		// Reports written before the workers axis existed carry Workers=0;
+		// those rows were measured at one worker.
+		if r.Workers == 1 || r.Workers == 0 {
+			ref[key{r.Dataset, r.Pruning}] = r.AllocsPerOp
+		}
+	}
+	if len(ref) == 0 {
+		return fmt.Errorf("baseline %s: no workers=1 rows to compare against", baselinePath)
+	}
+	var failures []string
+	for _, r := range fresh.Results {
+		if r.Workers != 1 {
+			continue
+		}
+		want, ok := ref[key{r.Dataset, r.Pruning}]
+		if !ok {
+			fmt.Printf("baseline: no reference for %s pruning=%v; skipping\n", r.Dataset, r.Pruning)
+			continue
+		}
+		limit := uint64(float64(want) * allocRegressionTolerance)
+		status := "ok"
+		if r.AllocsPerOp > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s pruning=%v: %d allocs/op vs baseline %d (limit %d)",
+				r.Dataset, r.Pruning, r.AllocsPerOp, want, limit))
+		}
+		fmt.Printf("baseline %-4s %-5s pruning=%-5v  %9d allocs/op vs %9d (limit %9d)\n",
+			status, r.Dataset, r.Pruning, r.AllocsPerOp, want, limit)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocs/op regressed beyond %.0f%% of baseline:\n  %s",
+			(allocRegressionTolerance-1)*100, joinLines(failures))
+	}
+	fmt.Println("baseline check passed")
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
 }

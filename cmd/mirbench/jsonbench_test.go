@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, report benchReport) string {
+	t.Helper()
+	buf, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchRow(dataset string, pruning bool, workers int, allocs uint64) benchResult {
+	return benchResult{Dataset: dataset, Pruning: pruning, Workers: workers, AllocsPerOp: allocs}
+}
+
+func TestCheckBaselinePassesWithinTolerance(t *testing.T) {
+	base := benchReport{Results: []benchResult{
+		benchRow("IND", true, 1, 100_000),
+		benchRow("IND", false, 1, 110_000),
+	}}
+	fresh := benchReport{Results: []benchResult{
+		benchRow("IND", true, 1, 109_999),  // +10% exactly at the limit
+		benchRow("IND", false, 1, 100_000), // improvement
+		benchRow("IND", true, 4, 999_999),  // multi-worker rows never gate
+	}}
+	if err := checkBaseline(fresh, writeBaseline(t, base)); err != nil {
+		t.Fatalf("within-tolerance report rejected: %v", err)
+	}
+}
+
+func TestCheckBaselineFailsOnRegression(t *testing.T) {
+	base := benchReport{Results: []benchResult{benchRow("COR", true, 1, 100_000)}}
+	fresh := benchReport{Results: []benchResult{benchRow("COR", true, 1, 111_000)}}
+	err := checkBaseline(fresh, writeBaseline(t, base))
+	if err == nil {
+		t.Fatal("11% allocs/op regression accepted")
+	}
+	if !strings.Contains(err.Error(), "COR") {
+		t.Fatalf("error does not name the offending row: %v", err)
+	}
+}
+
+func TestCheckBaselineAcceptsLegacyWorkersZero(t *testing.T) {
+	// Reports written before the workers axis carry Workers=0; those rows
+	// were measured at one worker and must still serve as reference.
+	base := benchReport{Results: []benchResult{benchRow("ANTI", true, 0, 100_000)}}
+	fresh := benchReport{Results: []benchResult{benchRow("ANTI", true, 1, 105_000)}}
+	if err := checkBaseline(fresh, writeBaseline(t, base)); err != nil {
+		t.Fatalf("legacy baseline rejected: %v", err)
+	}
+}
+
+func TestCheckBaselineRejectsEmptyBaseline(t *testing.T) {
+	base := benchReport{Results: []benchResult{benchRow("IND", true, 4, 100_000)}}
+	if err := checkBaseline(benchReport{}, writeBaseline(t, base)); err == nil {
+		t.Fatal("baseline without workers=1 rows accepted")
+	}
+}

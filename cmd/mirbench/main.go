@@ -49,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	workers := flag.Int("workers", 0, "cap on CPU cores used (0 = all); 1 reproduces the sequential engine")
 	jsonPath := flag.String("json", "", "run the AA benchmark matrix and write a machine-readable report to this path")
+	baseline := flag.String("baseline", "", "with -json: committed BENCH_AA.json to gate against (fails if workers=1 allocs/op regress >10%)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this path")
 	flag.Parse()
@@ -89,10 +90,14 @@ func main() {
 		return
 	}
 	if *jsonPath != "" {
-		if err := runJSONBench(cfg, *jsonPath); err != nil {
+		if err := runJSONBench(cfg, *jsonPath, *baseline); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *baseline != "" {
+		fmt.Fprintln(os.Stderr, "mirbench: -baseline requires -json")
+		os.Exit(2)
 	}
 	if *fig == "" {
 		fmt.Fprintln(os.Stderr, "mirbench: specify -fig <id> or -list")

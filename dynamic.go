@@ -27,15 +27,24 @@ type Monitor struct {
 // The inputs are deep-copied: callers may mutate or reuse their slices
 // after NewMonitor returns without corrupting the Monitor.
 func NewMonitor(products [][]float64, users []User, m int) (*Monitor, error) {
+	return NewMonitorOptions(products, users, m, nil)
+}
+
+// NewMonitorOptions is NewMonitor with algorithm options. The computed
+// region is identical for every Options.Workers setting — the incremental
+// updates run through the same deterministic task-parallel frontier as
+// full computations — so the knob trades only latency for cores.
+func NewMonitorOptions(products [][]float64, users []User, m int, opts *Options) (*Monitor, error) {
 	ps, us := convert(products, users)
-	inst, err := core.NewInstance(ps, us)
+	co := opts.toCore()
+	inst, err := core.NewInstanceWorkers(ps, us, co.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("mir: %w", err)
 	}
 	if err := inst.CheckM(m); err != nil {
 		return nil, fmt.Errorf("mir: %w", err)
 	}
-	mt, err := core.NewMaintainer(inst, m, core.Options{})
+	mt, err := core.NewMaintainer(inst, m, co)
 	if err != nil {
 		return nil, fmt.Errorf("mir: %w", err)
 	}

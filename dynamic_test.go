@@ -2,6 +2,7 @@ package mir
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -66,6 +67,95 @@ func TestMonitorLifecycle(t *testing.T) {
 	}
 	if _, err := mo.UserArrived(User{Weights: []float64{1}, K: 1}); err == nil {
 		t.Error("wrong-dimension arrival accepted")
+	}
+}
+
+// TestMonitorParallelDeterminism replays one random arrival/departure
+// script against monitors running at different worker counts and demands
+// byte-identical regions after every event: same cell count, same cell
+// order, and per-cell identical constraint lists. This pins the dynamic
+// path (Maintainer reprocessing through the task-parallel frontier) to
+// the same determinism contract as one-shot computations.
+func TestMonitorParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ps, us := fixture(rng, 250, 16, 3, 5)
+	const m = 7
+
+	workerCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	mos := make([]*Monitor, len(workerCounts))
+	for i, w := range workerCounts {
+		mo, err := NewMonitorOptions(ps, us, m, &Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		mos[i] = mo
+	}
+
+	check := func(step int) {
+		t.Helper()
+		ref := mos[0].Region().Cells()
+		for i, mo := range mos[1:] {
+			got := mo.Region().Cells()
+			if len(got) != len(ref) {
+				t.Fatalf("step %d workers=%d: %d cells, want %d",
+					step, workerCounts[i+1], len(got), len(ref))
+			}
+			for ci := range ref {
+				a, b := ref[ci].Constraints(), got[ci].Constraints()
+				if len(a) != len(b) {
+					t.Fatalf("step %d workers=%d cell %d: %d constraints, want %d",
+						step, workerCounts[i+1], ci, len(b), len(a))
+				}
+				for j := range a {
+					if a[j].T != b[j].T {
+						t.Fatalf("step %d workers=%d cell %d constraint %d: thresholds differ",
+							step, workerCounts[i+1], ci, j)
+					}
+					for k := range a[j].W {
+						if a[j].W[k] != b[j].W[k] {
+							t.Fatalf("step %d workers=%d cell %d constraint %d coord %d differs",
+								step, workerCounts[i+1], ci, j, k)
+						}
+					}
+				}
+			}
+		}
+	}
+	check(-1)
+
+	// One deterministic event script, replayed against every monitor.
+	eventRng := rand.New(rand.NewSource(67))
+	handles := make([]int, 16)
+	for i := range handles {
+		handles[i] = i
+	}
+	for step := 0; step < 10; step++ {
+		if len(handles) > m+2 && eventRng.Intn(2) == 0 {
+			pick := eventRng.Intn(len(handles))
+			h := handles[pick]
+			handles = append(handles[:pick], handles[pick+1:]...)
+			for i, mo := range mos {
+				if err := mo.UserDeparted(h); err != nil {
+					t.Fatalf("step %d workers=%d depart: %v", step, workerCounts[i], err)
+				}
+			}
+		} else {
+			_, newcomer := fixture(eventRng, 1, 1, 3, 4)
+			var newH int
+			for i, mo := range mos {
+				h, err := mo.UserArrived(newcomer[0])
+				if err != nil {
+					t.Fatalf("step %d workers=%d arrive: %v", step, workerCounts[i], err)
+				}
+				if i == 0 {
+					newH = h
+				} else if h != newH {
+					t.Fatalf("step %d: handles diverge: %d vs %d", step, h, newH)
+				}
+			}
+			handles = append(handles, newH)
+		}
+		check(step)
 	}
 }
 

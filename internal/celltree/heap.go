@@ -3,7 +3,8 @@ package celltree
 // Heap is a binary min-heap of cells keyed by a float priority fixed at
 // push time. AA uses it to always process the cell closest to being
 // reported or eliminated (Section 5.3); the IS adaptation reuses it with a
-// negated key to prioritize high-coverage cells.
+// negated key to prioritize high-coverage cells; the task-parallel
+// frontier drains it to seed the per-worker queues.
 type Heap struct {
 	items []heapItem
 }
@@ -30,7 +31,10 @@ func (h *Heap) Push(c *Cell, pri float64) {
 	}
 }
 
-// Pop removes and returns the minimum-priority cell; nil when empty.
+// Pop removes and returns the minimum-priority cell; nil when empty. The
+// vacated backing slot is zeroed so a popped (and possibly long-decided)
+// cell is not kept reachable — and its subtree uncollectable — by the
+// heap's spare capacity.
 func (h *Heap) Pop() *Cell {
 	if len(h.items) == 0 {
 		return nil
@@ -38,6 +42,7 @@ func (h *Heap) Pop() *Cell {
 	top := h.items[0].c
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
+	h.items[last] = heapItem{}
 	h.items = h.items[:last]
 	i := 0
 	for {
@@ -56,4 +61,17 @@ func (h *Heap) Pop() *Cell {
 		i = small
 	}
 	return top
+}
+
+// Drain invokes f for every queued cell (in backing-array order, which is
+// heap order, not sorted order) and empties the heap, zeroing the backing
+// slots. The frontier scheduler uses it to move staged cells into the
+// per-worker queues; since cell processing commutes there, the enumeration
+// order is irrelevant.
+func (h *Heap) Drain(f func(c *Cell, pri float64)) {
+	for i, it := range h.items {
+		f(it.c, it.pri)
+		h.items[i] = heapItem{}
+	}
+	h.items = h.items[:0]
 }

@@ -10,6 +10,18 @@
 // (OutCount) them, a cached minimum bounding box that powers the paper's
 // filter-and-refine fast tests (Section 5.3), and an algorithm-specific
 // payload (AA stores its individualized pending-group list there).
+//
+// Mutation model: the tree as a whole is not safe for concurrent use, but
+// disjoint subtrees are. Every mutating operation (SplitBy, Report,
+// Eliminate) lives on a Shard — a per-goroutine mutation context carrying
+// its own scratch buffers and Stats accumulator. The Tree's own methods
+// delegate to a built-in shard writing straight into Tree.Stats, so
+// sequential callers see the original API; parallel callers take one
+// NewShard per worker, confine each worker to cells of disjoint subtrees,
+// and merge the shard stats after the join (Tree.AbsorbShard). Cell IDs
+// are derived from the tree path, not a shared counter, so the arrangement
+// — IDs included — is byte-identical no matter how subtree work is
+// scheduled.
 package celltree
 
 import (
@@ -45,6 +57,13 @@ func (s Status) String() string {
 // Cell is a node of the arrangement tree. Leaves correspond to current
 // arrangement cells; internal nodes record past splits.
 type Cell struct {
+	// ID is derived from the cell's tree path in heap numbering: the root
+	// is 0 and a split assigns 2·ID+1 (outside child) and 2·ID+2 (inside
+	// child). IDs therefore depend only on the split history, never on the
+	// order in which independent subtrees were processed — the property
+	// the task-parallel frontier relies on. They are unique up to depth
+	// 62; beyond that the arithmetic wraps (still deterministically). IDs
+	// are diagnostic: no algorithmic decision reads them.
 	ID     int
 	Depth  int
 	Status Status
@@ -65,13 +84,12 @@ type Cell struct {
 	// Payload carries algorithm state (e.g. AA's pending group views).
 	Payload any
 
-	parent        *Cell
-	left, right   *Cell
-	split         geom.Halfspace
-	splitFlip     geom.Halfspace // split.Flip(), cached (left-child paths reuse it)
-	owner         *Tree
-	reportedExtra []geom.Halfspace // extra constraints recorded at report time (2-D fast path)
-	poly          *geom.Polytope   // lazily built H-rep, cached (cells are classified many times)
+	parent      *Cell
+	left, right *Cell
+	split       geom.Halfspace
+	splitFlip   geom.Halfspace // split.Flip(), cached (left-child paths reuse it)
+	owner       *Tree
+	poly        *geom.Polytope // lazily built H-rep, cached (cells are classified many times)
 }
 
 // Parent returns the parent node (nil at the root).
@@ -103,13 +121,11 @@ type Tree struct {
 	// (see FullPolytope for the export path).
 	Prune bool
 
-	Stats  Stats
-	nextID int
+	Stats Stats
 
-	// Reusable SplitBy scratch (tree mutation is single-goroutine; only
-	// classification fans out).
-	pathBuf  []geom.Halfspace
-	reduceIn []geom.Halfspace
+	// own is the built-in sequential shard: it writes into Tree.Stats
+	// directly, so single-goroutine callers need no merge step.
+	own Shard
 }
 
 // Stats aggregates arrangement counters; the paper's Figures 12b and 16
@@ -144,6 +160,25 @@ func (s *Stats) MergeTests(o Stats) {
 	s.ContainmentTests += o.ContainmentTests
 }
 
+// Merge folds every counter of o into s: sums throughout, except MaxDepth
+// which merges by maximum. Both operations are commutative and
+// associative, so merging per-worker shard stats in any order yields the
+// same totals — the frontier scheduler's determinism depends on this.
+func (s *Stats) Merge(o Stats) {
+	s.CellsCreated += o.CellsCreated
+	s.Splits += o.Splits
+	s.ContainmentTests += o.ContainmentTests
+	s.FastTests += o.FastTests
+	s.FastHits += o.FastHits
+	s.Reported += o.Reported
+	s.Eliminated += o.Eliminated
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	s.PruneLPTests += o.PruneLPTests
+	s.PrunedRows += o.PrunedRows
+}
+
 // New creates a tree over the given box polytope (normally [0,1]^d or, for
 // IS-style problems, [p, 1]^d).
 func New(box *geom.Polytope) *Tree {
@@ -155,18 +190,62 @@ func New(box *geom.Polytope) *Tree {
 	}
 	root.owner = t
 	t.Root = root
-	t.nextID = 1
 	t.Stats.CellsCreated = 1
+	t.own = Shard{tr: t, st: &t.Stats}
 	return t
 }
 
+// Shard is a mutation context for the tree: it owns the scratch buffers a
+// split needs and a Stats accumulator for every counter the mutation
+// updates. One shard must be used by at most one goroutine at a time, and
+// concurrent shards must operate on disjoint subtrees (no cell may be an
+// ancestor of a cell another shard mutates). Classification counters for
+// read-side operations go through the same accumulator (Stats()).
+type Shard struct {
+	tr *Tree
+	st *Stats
+
+	// Reusable SplitBy scratch.
+	pathBuf  []geom.Halfspace
+	reduceIn []geom.Halfspace
+}
+
+// NewShard returns a fresh mutation context with a private Stats
+// accumulator. Merge it back with AbsorbShard after the parallel phase.
+func (tr *Tree) NewShard() *Shard {
+	return &Shard{tr: tr, st: &Stats{}}
+}
+
+// AbsorbShard folds a worker shard's counters into the tree's Stats. Call
+// it from a single goroutine after all shard work has completed; absorbing
+// shards in any order yields identical totals (see Stats.Merge).
+func (tr *Tree) AbsorbShard(sh *Shard) {
+	if sh.st != &tr.Stats {
+		tr.Stats.Merge(*sh.st)
+		*sh.st = Stats{}
+	}
+}
+
+// Stats returns the shard's counter accumulator; read-side classification
+// helpers (Cell.ClassifyInto, Cell.FastClassifyInto) accept it so a
+// worker's entire footprint lands in one mergeable struct.
+func (sh *Shard) Stats() *Stats { return sh.st }
+
+// OwnShard returns the tree's built-in sequential shard, whose accumulator
+// is Tree.Stats itself (no merge step needed). It must not be used while
+// any worker shard is active: it aliases the Stats every AbsorbShard
+// writes.
+func (tr *Tree) OwnShard() *Shard { return &tr.own }
+
 // Polytope returns the H-representation of the cell: the box plus one
-// oriented halfspace per ancestor split, plus any constraints recorded at
-// report time. The representation is built once (reusing the parent's
-// cached representation) and cached; cells are classified against many
-// halfspaces over their lifetime.
+// oriented halfspace per ancestor split. The representation is built once
+// (reusing the parent's cached representation) and cached; cells are
+// classified against many halfspaces over their lifetime. SplitBy
+// materializes the children's representations eagerly, so within a
+// parallel phase the lazy path runs only for a root that was never split —
+// a cell processed by exactly one goroutine.
 func (c *Cell) Polytope() *geom.Polytope {
-	if c.poly != nil && len(c.reportedExtra) == 0 {
+	if c.poly != nil {
 		return c.poly
 	}
 	tr := c.owner
@@ -183,28 +262,19 @@ func (c *Cell) Polytope() *geom.Polytope {
 		base = append(base, ph...)
 		base = append(base, h)
 	}
-	if c.poly == nil {
-		c.poly = &geom.Polytope{Dim: tr.Dim, Hs: base}
-	}
-	if len(c.reportedExtra) == 0 {
-		return c.poly
-	}
-	hs := make([]geom.Halfspace, 0, len(c.poly.Hs)+len(c.reportedExtra))
-	hs = append(hs, c.poly.Hs...)
-	hs = append(hs, c.reportedExtra...)
-	return &geom.Polytope{Dim: tr.Dim, Hs: hs}
+	c.poly = &geom.Polytope{Dim: tr.Dim, Hs: base}
+	return c.poly
 }
 
 // FullPolytope returns the cell's raw H-representation: the tree's box
 // constraints followed by one oriented halfspace per ancestor split in
-// root-to-leaf order, plus any report-time extras. Unlike Polytope — whose
-// cached representation is redundancy-pruned when Tree.Prune is set — the
-// result depends only on the split history, so region export built on it is
-// byte-identical whether pruning ran or not.
+// root-to-leaf order. Unlike Polytope — whose cached representation is
+// redundancy-pruned when Tree.Prune is set — the result depends only on
+// the split history, so region export built on it is byte-identical
+// whether pruning ran or not.
 func (c *Cell) FullPolytope() *geom.Polytope {
 	tr := c.owner
-	hs := c.appendRawPath(make([]geom.Halfspace, 0, len(tr.Box.Hs)+c.Depth+len(c.reportedExtra)))
-	hs = append(hs, c.reportedExtra...)
+	hs := c.appendRawPath(make([]geom.Halfspace, 0, len(tr.Box.Hs)+c.Depth))
 	return &geom.Polytope{Dim: tr.Dim, Hs: hs}
 }
 
@@ -220,13 +290,6 @@ func (c *Cell) appendRawPath(dst []geom.Halfspace) []geom.Halfspace {
 		h = c.parent.splitFlip
 	}
 	return append(dst, h)
-}
-
-// AddReportConstraint attaches an extra halfspace to the reported cell's
-// geometry without splitting the tree. The 2-D specialized insertion uses
-// this to report (H_m ∪ H_{t-m+1}) ∩ c as two constrained copies.
-func (c *Cell) AddReportConstraint(h geom.Halfspace) { //nolint:unused
-	c.reportedExtra = append(c.reportedExtra, h)
 }
 
 // FastClassify runs the MBB-based filter test of Section 5.3. conclusive
@@ -291,45 +354,50 @@ func (c *Cell) ClassifyInto(h geom.Halfspace, useFast bool, st *Stats) geom.Rela
 // the recursion, every ancestor's). Polytope() caches lazily on first use,
 // which would race under concurrent classification; calling Prewarm from a
 // single goroutine before fanning out makes subsequent Polytope() calls
-// read-only for cells without report-time extra constraints (active cells
-// never carry them).
+// read-only.
 func (c *Cell) Prewarm() { _ = c.Polytope() }
+
+// SplitBy divides the leaf by h's boundary hyperplane using the tree's
+// built-in sequential shard; see Shard.SplitBy.
+func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
+	return tr.own.SplitBy(c, h)
+}
 
 // SplitBy divides the leaf by h's boundary hyperplane. The right child is
 // the part inside h, the left child the part outside. Children inherit the
-// parent's counts and receive bounding boxes computed by analytically
-// clipping the parent's box against the split halfspace — an O(d²)
-// operation yielding a valid (possibly slightly loose) bounding box, which
-// is all the filter-and-refine fast tests require, at a fraction of the
-// cost of the 2d linear programs an exact box would take.
+// parent's counts, receive path-derived IDs (2·ID+1 / 2·ID+2), and receive
+// bounding boxes computed by analytically clipping the parent's box
+// against the split halfspace — an O(d²) operation yielding a valid
+// (possibly slightly loose) bounding box, which is all the
+// filter-and-refine fast tests require, at a fraction of the cost of the
+// 2d linear programs an exact box would take.
 //
 // Callers split only on halfspaces classified as Cuts, which certifies
 // both sides non-empty; a child whose clipped box nevertheless degenerates
 // (borderline numerics) is returned with Status Eliminated.
-func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
+func (sh *Shard) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 	if !c.IsLeaf() {
 		panic("celltree: SplitBy on internal node")
 	}
+	tr := sh.tr
 	c.split = h
 	c.splitFlip = h.Flip()
-	mk := func() *Cell {
-		n := &Cell{
-			ID:       tr.nextID,
+	mk := func(side int) *Cell {
+		return &Cell{
+			ID:       2*c.ID + side,
 			Depth:    c.Depth + 1,
 			InCount:  c.InCount,
 			OutCount: c.OutCount,
 			parent:   c,
 			owner:    tr,
 		}
-		tr.nextID++
-		return n
 	}
-	left = mk()
-	right = mk()
+	left = mk(1)
+	right = mk(2)
 	c.left, c.right = left, right
-	tr.Stats.Splits++
-	if c.Depth+1 > tr.Stats.MaxDepth {
-		tr.Stats.MaxDepth = c.Depth + 1
+	sh.st.Splits++
+	if c.Depth+1 > sh.st.MaxDepth {
+		sh.st.MaxDepth = c.Depth + 1
 	}
 	// The raw (unpruned) ancestor path. Bounding boxes are always derived
 	// from it — interval propagation against a redundant row can tighten
@@ -337,8 +405,8 @@ func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 	// would yield looser (though still valid) boxes and perturb the fast
 	// tests. Deriving from the raw path keeps MBBs, fast-test outcomes, and
 	// Stats counters identical whether pruning is on or off.
-	tr.pathBuf = c.appendRawPath(tr.pathBuf[:0])
-	full := tr.pathBuf
+	sh.pathBuf = c.appendRawPath(sh.pathBuf[:0])
+	full := sh.pathBuf
 	// Redundancy elimination, in contrast, starts from the parent's
 	// already-reduced representation: redundancy is monotone down the tree
 	// (a row implied over the parent cell stays implied over either child),
@@ -381,12 +449,12 @@ func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 		}
 		ch.MBBLo, ch.MBBHi = lo, hi
 		if tr.Prune {
-			in := append(tr.reduceIn[:0], base...)
+			in := append(sh.reduceIn[:0], base...)
 			in = append(in, hs)
-			tr.reduceIn = in[:0]
+			sh.reduceIn = in[:0]
 			red, rst := geom.ReduceCell(tr.Dim, in, lo, hi)
-			tr.Stats.PruneLPTests += rst.LPTests
-			tr.Stats.PrunedRows += rst.BoxDropped + rst.LPDropped
+			sh.st.PruneLPTests += rst.LPTests
+			sh.st.PrunedRows += rst.BoxDropped + rst.LPDropped
 			ch.poly = &geom.Polytope{Dim: tr.Dim, Hs: red}
 		} else {
 			raw := make([]geom.Halfspace, 0, len(full)+1)
@@ -394,7 +462,7 @@ func (tr *Tree) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 			raw = append(raw, hs)
 			ch.poly = &geom.Polytope{Dim: tr.Dim, Hs: raw}
 		}
-		tr.Stats.CellsCreated++
+		sh.st.CellsCreated++
 	}
 	return left, right
 }
@@ -481,25 +549,33 @@ func clipBox(lo, hi geom.Vector, h geom.Halfspace) (nlo, nhi geom.Vector, ok boo
 	return nlo, nhi, true
 }
 
+// Report marks the leaf as part of the result region (sequential shard).
+func (tr *Tree) Report(c *Cell) { tr.own.Report(c) }
+
+// Eliminate marks the leaf as unable to reach the coverage threshold
+// (sequential shard).
+func (tr *Tree) Eliminate(c *Cell) { tr.own.Eliminate(c) }
+
 // Report marks the leaf as part of the result region.
-func (tr *Tree) Report(c *Cell) {
+func (sh *Shard) Report(c *Cell) {
 	if c.Status == Active {
 		c.Status = Reported
-		tr.Stats.Reported++
+		sh.st.Reported++
 	}
 }
 
 // Eliminate marks the leaf as unable to reach the coverage threshold.
-func (tr *Tree) Eliminate(c *Cell) {
+func (sh *Shard) Eliminate(c *Cell) {
 	if c.Status == Active {
 		c.Status = Eliminated
-		tr.Stats.Eliminated++
+		sh.st.Eliminated++
 	}
 }
 
 // Reactivate returns a decided leaf to the Active state. Incremental
 // maintenance uses it when a user-set update invalidates an earlier
-// report/elimination decision.
+// report/elimination decision. Reactivation happens only between parallel
+// phases, so it stays a Tree (sequential) operation.
 func (tr *Tree) Reactivate(c *Cell) {
 	switch c.Status {
 	case Reported:

@@ -245,16 +245,114 @@ func TestHeapOrdering(t *testing.T) {
 	}
 }
 
-func TestAddReportConstraint(t *testing.T) {
+// TestPathDerivedIDs pins the deterministic ID scheme: the root is 0 and
+// a split assigns 2·ID+1 / 2·ID+2, so IDs depend only on the split
+// history, never on the order independent subtrees were processed in.
+func TestPathDerivedIDs(t *testing.T) {
 	tr := unitTree(2)
-	c := tr.Root
-	c.AddReportConstraint(geom.Halfspace{W: geom.Vector{1, 0}, T: 0.5})
-	p := c.Polytope()
-	if p.ContainsPoint(geom.Vector{0.2, 0.2}) {
-		t.Error("report constraint not applied")
+	l, r := tr.SplitBy(tr.Root, geom.Halfspace{W: geom.Vector{1, 0}, T: 0.5})
+	if l.ID != 1 || r.ID != 2 {
+		t.Fatalf("first-level IDs = %d, %d; want 1, 2", l.ID, r.ID)
 	}
-	if !p.ContainsPoint(geom.Vector{0.7, 0.2}) {
-		t.Error("report constraint too strong")
+	ll, lr := tr.SplitBy(l, geom.Halfspace{W: geom.Vector{0, 1}, T: 0.5})
+	rl, rr := tr.SplitBy(r, geom.Halfspace{W: geom.Vector{0, 1}, T: 0.5})
+	if ll.ID != 3 || lr.ID != 4 || rl.ID != 5 || rr.ID != 6 {
+		t.Fatalf("second-level IDs = %d, %d, %d, %d; want 3, 4, 5, 6",
+			ll.ID, lr.ID, rl.ID, rr.ID)
+	}
+}
+
+// TestShardSplitMatchesSequential splits two disjoint subtrees through
+// worker shards and checks that the merged stats and the resulting
+// arrangement are identical to the same splits performed sequentially.
+func TestShardSplitMatchesSequential(t *testing.T) {
+	build := func(viaShards bool) *Tree {
+		tr := unitTree(2)
+		l, r := tr.SplitBy(tr.Root, geom.Halfspace{W: geom.Vector{1, 0}, T: 0.5})
+		h := geom.Halfspace{W: geom.Vector{0, 1}, T: 0.5}
+		if viaShards {
+			shA, shB := tr.NewShard(), tr.NewShard()
+			shA.SplitBy(l, h)
+			lb, rb := shB.SplitBy(r, h)
+			shB.Report(rb)
+			shB.Eliminate(lb)
+			// Absorption order must not matter (sums and maxima commute).
+			tr.AbsorbShard(shB)
+			tr.AbsorbShard(shA)
+		} else {
+			tr.SplitBy(l, h)
+			lb, rb := tr.SplitBy(r, h)
+			tr.Report(rb)
+			tr.Eliminate(lb)
+		}
+		return tr
+	}
+	seq, shd := build(false), build(true)
+	if seq.Stats != shd.Stats {
+		t.Fatalf("stats diverge:\nseq   %+v\nshard %+v", seq.Stats, shd.Stats)
+	}
+	sl, dl := seq.Leaves(nil, nil), shd.Leaves(nil, nil)
+	if len(sl) != len(dl) {
+		t.Fatalf("leaf counts differ: %d vs %d", len(sl), len(dl))
+	}
+	for i := range sl {
+		if sl[i].ID != dl[i].ID || sl[i].Status != dl[i].Status {
+			t.Fatalf("leaf %d: (%d,%v) vs (%d,%v)",
+				i, sl[i].ID, sl[i].Status, dl[i].ID, dl[i].Status)
+		}
+	}
+}
+
+// TestHeapPopReleasesCell: the truncated backing array must not keep a
+// popped cell alive — popped-and-eliminated cells should be collectable,
+// so the vacated slot has to be zeroed.
+func TestHeapPopReleasesCell(t *testing.T) {
+	var h Heap
+	tr := unitTree(2)
+	for i := 0; i < 8; i++ {
+		h.Push(&Cell{ID: i, owner: tr}, float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		if h.Pop() == nil {
+			t.Fatal("unexpected empty heap")
+		}
+	}
+	backing := h.items[:cap(h.items)]
+	for i := h.Len(); i < len(backing); i++ {
+		if backing[i].c != nil {
+			t.Fatalf("backing slot %d still references cell %d after pop",
+				i, backing[i].c.ID)
+		}
+	}
+	h.Drain(func(*Cell, float64) {})
+	backing = h.items[:cap(h.items)]
+	for i := range backing {
+		if backing[i].c != nil {
+			t.Fatalf("backing slot %d still references a cell after Drain", i)
+		}
+	}
+}
+
+// TestHeapDrain: Drain yields every queued cell exactly once and leaves
+// the heap empty.
+func TestHeapDrain(t *testing.T) {
+	var h Heap
+	tr := unitTree(2)
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		h.Push(&Cell{ID: i, owner: tr}, float64(10-i))
+	}
+	h.Drain(func(c *Cell, pri float64) {
+		if seen[c.ID] {
+			t.Fatalf("cell %d drained twice", c.ID)
+		}
+		if pri != float64(10-c.ID) {
+			t.Fatalf("cell %d drained with priority %g, want %g", c.ID, pri, float64(10-c.ID))
+		}
+		seen[c.ID] = true
+	})
+	if len(seen) != 10 || h.Len() != 0 {
+		t.Fatalf("drained %d cells, heap len %d", len(seen), h.Len())
 	}
 }
 

@@ -23,7 +23,7 @@ func AA(inst *Instance, m int, opts Options) (*Region, error) {
 	if err != nil {
 		return nil, err
 	}
-	return regionFromTree(run.tr, m, run.st), nil
+	return run.region(), nil
 }
 
 // runAA executes AA and returns the finished run (tree included), which
@@ -40,7 +40,7 @@ func runAA(inst *Instance, m int, opts Options) (*aaRun, error) {
 		tr:   celltree.New(geom.NewBox(inst.Dim, 0, 1)),
 	}
 	run.seedRoot()
-	run.loop()
+	run.drain()
 	return run, nil
 }
 
@@ -55,7 +55,12 @@ const (
 	modeMinCost
 )
 
-// aaRun holds the state of one AA execution.
+// aaRun holds the state of one AA execution: the instance-wide inputs,
+// the arrangement, the staging heap cells wait on between drains, and the
+// built-in sequential worker. All per-cell mutable state (scratch buffers,
+// test counters, tree mutation) lives on aaWorker; the run itself is
+// read-only while frontier workers are active, except for the fields the
+// sequential-only modes use.
 type aaRun struct {
 	inst *Instance
 	m    int
@@ -64,19 +69,17 @@ type aaRun struct {
 	tr   *celltree.Tree
 	heap celltree.Heap
 	st   Stats
-	rr   int // round-robin cursor for the ablation strategy
+	rr   int // round-robin cursor for the ablation strategy (sequential only)
 
-	// Reusable scratch for the sequential hot paths (the run loop is
-	// single-goroutine; parallel stages carry their own state).
-	leavesBuf []*celltree.Cell
-	isHullBuf []bool
-	vcPts     []geom.Vector
-	vePts     []geom.Vector
-	ptsBuf    []geom.Vector
-	gcBuf     []int
-	geBuf     []int
-	giBuf     []int
-	remBuf    []int
+	// seq is the built-in sequential worker: its shard writes straight
+	// into tr.Stats and its core counters into r.st, so the sequential
+	// path needs no merge step and behaves exactly like the historical
+	// single-threaded loop.
+	seq *aaWorker
+
+	// sched records the frontier scheduler's execution, nil when every
+	// drain ran sequentially.
+	sched *SchedStats
 
 	// Max-coverage mode (IS, budgeted CO).
 	mode      runMode
@@ -88,6 +91,30 @@ type aaRun struct {
 	bestCost  float64
 }
 
+// aaWorker is the per-goroutine execution context of the AA loop: the
+// reusable scratch buffers of the per-cell hot paths, a celltree.Shard for
+// subtree mutation, a private core-Stats accumulator, and the intra-cell
+// fan-out degree. The sequential loop owns exactly one (fanout = Workers,
+// shard = the tree's own); the frontier runs one per worker goroutine
+// (fanout = 1 — parallelism comes from concurrent cells, not concurrent
+// members) and merges shards and stats after the join.
+type aaWorker struct {
+	r      *aaRun
+	sh     *celltree.Shard
+	st     *Stats
+	fanout int
+
+	leavesBuf []*celltree.Cell
+	isHullBuf []bool
+	vcPts     []geom.Vector
+	vePts     []geom.Vector
+	ptsBuf    []geom.Vector
+	gcBuf     []int
+	geBuf     []int
+	giBuf     []int
+	remBuf    []int
+}
+
 func (r *aaRun) fast() bool { return !r.opts.DisableFastTest }
 
 // workers resolves the run's parallelism degree (Options.Workers; 0 = all
@@ -96,6 +123,7 @@ func (r *aaRun) workers() int { return par.Resolve(r.opts.Workers) }
 
 // seedRoot attaches the full group list to the root and queues it.
 func (r *aaRun) seedRoot() {
+	r.seq = &aaWorker{r: r, sh: r.tr.OwnShard(), st: &r.st, fanout: r.workers()}
 	r.tr.Prune = !r.opts.DisablePruning
 	root := r.tr.Root
 	if root.Status != celltree.Active {
@@ -115,69 +143,91 @@ func (r *aaRun) seedRoot() {
 		}
 	}
 	root.Payload = cg
-	if !r.verify(root) {
+	if !r.seq.verify(root) {
 		r.heap.Push(root, r.priority(root))
 	}
 }
 
-// loop is Algorithm 2's main iteration (and, in max-coverage mode, the
-// Section 5.5 variant: budget pruning at pop time, finalization when a
-// cell's pending-group list empties).
+// loop is the sequential drain: Algorithm 2's main iteration (and, in
+// max-coverage mode, the Section 5.5 variant). The frontier scheduler
+// replaces it for modeMIR when Workers > 1; see drain.
 func (r *aaRun) loop() {
+	w := r.seq
 	for r.heap.Len() > 0 {
 		c := r.heap.Pop()
-		if c.Status != celltree.Active {
+		w.processCell(c, r.heap.Push)
+		// High-water mark of in-flight cells (queued + the one just
+		// processed), mirroring the frontier's MaxPending accounting.
+		if n := r.heap.Len() + 1; n > r.st.MaxFrontier {
+			r.st.MaxFrontier = n
+		}
+	}
+}
+
+// processCell runs one iteration of Algorithm 2 on cell c: budget/cost
+// pruning (sequential modes), Update, Verify, group insertion, and the
+// distribution of the surviving group list to the cell's new leaves.
+// Undecided leaves are handed to push with their processing priority.
+//
+// In modeMIR this is the frontier's unit of work, and it commutes across
+// independent cells: everything it reads is either immutable for the run
+// (instance, groups, m, nU) or owned by c (counts, payload, subtree), and
+// everything it writes is c's subtree or the worker's private
+// accumulators. The processing order of disjoint active cells therefore
+// never changes the final tree, counts, or stats sums.
+func (w *aaWorker) processCell(c *celltree.Cell, push func(*celltree.Cell, float64)) {
+	r := w.r
+	if c.Status != celltree.Active {
+		return
+	}
+	w.st.Iterations++
+	if r.mode == modeMaxCov && r.pruneBudget(c) {
+		return
+	}
+	if r.mode == modeMinCost && r.pruneCost(c) {
+		return
+	}
+	w.update(c)
+	if w.verify(c) {
+		return
+	}
+	cg := c.Payload.(*cellGroups)
+	if len(cg.views) == 0 {
+		if r.mode == modeMaxCov {
+			r.finalize(c)
+			return
+		}
+		// With all users counted, verify must have decided the cell.
+		panic(fmt.Sprintf("core: cell %d undecided with empty group list (in=%d out=%d |U|=%d)",
+			c.ID, c.InCount, c.OutCount, r.nU))
+	}
+	vi := r.chooseView(cg)
+	var newCG *cellGroups
+	if r.inst.Dim == 2 && !r.opts.Disable2D && r.mode == modeMIR {
+		newCG = w.insert2D(c, cg, vi)
+	} else {
+		newCG = w.insertGroup(c, cg, vi)
+	}
+	if newCG == nil {
+		return // the cell was decided during group insertion
+	}
+	w.leavesBuf = r.tr.Leaves(c, w.leavesBuf[:0])
+	// Each active leaf needs an independently mutable copy of the list;
+	// newCG itself is unaliased after this loop, so the first taker can
+	// have the original.
+	taken := false
+	for _, leaf := range w.leavesBuf {
+		if leaf.Status != celltree.Active {
 			continue
 		}
-		r.st.Iterations++
-		if r.mode == modeMaxCov && r.pruneBudget(c) {
-			continue
-		}
-		if r.mode == modeMinCost && r.pruneCost(c) {
-			continue
-		}
-		r.update(c)
-		if r.verify(c) {
-			continue
-		}
-		cg := c.Payload.(*cellGroups)
-		if len(cg.views) == 0 {
-			if r.mode == modeMaxCov {
-				r.finalize(c)
-				continue
-			}
-			// With all users counted, verify must have decided the cell.
-			panic(fmt.Sprintf("core: cell %d undecided with empty group list (in=%d out=%d |U|=%d)",
-				c.ID, c.InCount, c.OutCount, r.nU))
-		}
-		vi := r.chooseView(cg)
-		var newCG *cellGroups
-		if r.inst.Dim == 2 && !r.opts.Disable2D && r.mode == modeMIR {
-			newCG = r.insert2D(c, cg, vi)
+		if taken {
+			leaf.Payload = newCG.clone()
 		} else {
-			newCG = r.insertGroup(c, cg, vi)
+			leaf.Payload = newCG
+			taken = true
 		}
-		if newCG == nil {
-			continue // the cell was decided during group insertion
-		}
-		r.leavesBuf = r.tr.Leaves(c, r.leavesBuf[:0])
-		// Each active leaf needs an independently mutable copy of the list;
-		// newCG itself is unaliased after this loop, so the first taker can
-		// have the original.
-		taken := false
-		for _, leaf := range r.leavesBuf {
-			if leaf.Status != celltree.Active {
-				continue
-			}
-			if taken {
-				leaf.Payload = newCG.clone()
-			} else {
-				leaf.Payload = newCG
-				taken = true
-			}
-			if !r.verify(leaf) {
-				r.heap.Push(leaf, r.priority(leaf))
-			}
+		if !w.verify(leaf) {
+			push(leaf, r.priority(leaf))
 		}
 	}
 }
@@ -208,21 +258,24 @@ func (r *aaRun) priority(c *celltree.Cell) float64 {
 // elimination. It returns true when the cell is (now) decided. "Early"
 // means some users were still undecided at decision time (Figure 16d).
 // In max-coverage mode there is no fixed m: a cell is eliminated when its
-// coverage upper bound cannot beat the incumbent.
-func (r *aaRun) verify(c *celltree.Cell) bool {
+// coverage upper bound cannot beat the incumbent. The max-coverage and
+// min-cost branches mutate run-level incumbents and run only under the
+// sequential loop.
+func (w *aaWorker) verify(c *celltree.Cell) bool {
+	r := w.r
 	if c.Status != celltree.Active {
 		return true
 	}
 	if r.mode == modeMaxCov {
 		if r.nU-c.OutCount <= r.bestCov {
-			r.tr.Eliminate(c)
+			w.sh.Eliminate(c)
 			return true
 		}
 		return false
 	}
 	if r.mode == modeMinCost {
 		if r.nU-c.OutCount < r.m {
-			r.tr.Eliminate(c)
+			w.sh.Eliminate(c)
 			return true
 		}
 		if c.InCount >= r.m {
@@ -232,61 +285,62 @@ func (r *aaRun) verify(c *celltree.Cell) bool {
 				r.bestCost = cost
 				r.bestPoint = pt
 			}
-			r.tr.Report(c)
+			w.sh.Report(c)
 			return true
 		}
 		return false
 	}
 	if c.InCount >= r.m {
-		r.reportCell(c)
+		w.reportCell(c)
 		return true
 	}
 	if r.nU-c.OutCount < r.m {
 		if c.InCount+c.OutCount < r.nU {
-			r.st.EarlyEliminated++
+			w.st.EarlyEliminated++
 		}
-		r.tr.Eliminate(c)
+		w.sh.Eliminate(c)
 		return true
 	}
 	return false
 }
 
 // reportCell marks c as part of R, tracking early-reporting stats.
-func (r *aaRun) reportCell(c *celltree.Cell) {
+func (w *aaWorker) reportCell(c *celltree.Cell) {
 	if c.Status != celltree.Active {
 		return
 	}
-	if c.InCount+c.OutCount < r.nU {
-		r.st.EarlyReported++
+	if c.InCount+c.OutCount < w.r.nU {
+		w.st.EarlyReported++
 	}
-	r.tr.Report(c)
+	w.sh.Report(c)
 }
 
 // update is Algorithm 2's Update: test every pending group against the
 // cell via Lemmas 3 and 4 and absorb fully-covering / fully-excluded
-// groups into the counts. With Workers > 1 the per-view relations are
-// precomputed concurrently (they are mutually independent); absorption
-// stays sequential so InCount/OutCount, the early-exit point, and the
-// surviving view order are identical to the sequential execution.
-func (r *aaRun) update(c *celltree.Cell) {
+// groups into the counts. With an intra-cell fan-out the per-view
+// relations are precomputed concurrently (they are mutually independent);
+// absorption stays sequential so InCount/OutCount, the early-exit point,
+// and the surviving view order are identical to the sequential execution.
+func (w *aaWorker) update(c *celltree.Cell) {
+	r := w.r
 	cg := c.Payload.(*cellGroups)
-	if w := r.workers(); w > 1 && len(cg.views) > 1 {
-		r.absorb(c, cg, r.relationsParallel(c, cg, w))
+	if w.fanout > 1 && len(cg.views) > 1 {
+		w.absorb(c, cg, w.relationsParallel(c, cg))
 		return
 	}
 	for vi := 0; vi < len(cg.views); {
-		switch r.groupRelation(c, cg.views[vi]) {
+		switch w.groupRelation(c, cg.views[vi]) {
 		case geom.Covers:
 			c.InCount += len(cg.views[vi].members)
 			cg.remove(vi)
-			r.st.GroupBatchHits++
+			w.st.GroupBatchHits++
 			if r.mode == modeMIR && c.InCount >= r.m {
 				return // verify will report; no need to scan further
 			}
 		case geom.Excludes:
 			c.OutCount += len(cg.views[vi].members)
 			cg.remove(vi)
-			r.st.GroupBatchHits++
+			w.st.GroupBatchHits++
 			if r.mode == modeMIR && r.nU-c.OutCount < r.m {
 				return
 			}
@@ -298,19 +352,20 @@ func (r *aaRun) update(c *celltree.Cell) {
 
 // relationsParallel classifies every pending view against the cell
 // concurrently, returning the relations indexed like cg.views. Test
-// counters accumulate into per-worker Stats and merge by summation, so
-// they are deterministic for any worker count; classification the
-// sequential loop would have skipped after an early exit is wasted rather
-// than skipped, so the counters can exceed the Workers == 1 numbers.
-func (r *aaRun) relationsParallel(c *celltree.Cell, cg *cellGroups, workers int) []geom.Relation {
+// counters accumulate into per-goroutine Stats and merge by summation, so
+// they are deterministic for any fan-out; classification the sequential
+// loop would have skipped after an early exit is wasted rather than
+// skipped, so the counters can exceed the fanout == 1 numbers.
+func (w *aaWorker) relationsParallel(c *celltree.Cell, cg *cellGroups) []geom.Relation {
 	c.Prewarm()
+	workers := w.fanout
 	rels := make([]geom.Relation, len(cg.views))
 	stats := make([]celltree.Stats, workers)
-	par.ForWorker(len(cg.views), workers, func(w, i int) {
-		rels[i] = r.groupRelationInto(c, cg.views[i], &stats[w])
+	par.ForWorker(len(cg.views), workers, func(g, i int) {
+		rels[i] = w.groupRelationInto(c, cg.views[i], &stats[g])
 	})
 	for _, s := range stats {
-		r.tr.Stats.MergeTests(s)
+		w.sh.Stats().MergeTests(s)
 	}
 	return rels
 }
@@ -318,7 +373,8 @@ func (r *aaRun) relationsParallel(c *celltree.Cell, cg *cellGroups, workers int)
 // absorb replays the sequential absorption loop of update over
 // precomputed relations, mirroring cg.remove's swap-with-last on the
 // relation slice so the two stay aligned.
-func (r *aaRun) absorb(c *celltree.Cell, cg *cellGroups, rels []geom.Relation) {
+func (w *aaWorker) absorb(c *celltree.Cell, cg *cellGroups, rels []geom.Relation) {
+	r := w.r
 	drop := func(vi int) {
 		cg.remove(vi)
 		last := len(rels) - 1
@@ -330,14 +386,14 @@ func (r *aaRun) absorb(c *celltree.Cell, cg *cellGroups, rels []geom.Relation) {
 		case geom.Covers:
 			c.InCount += len(cg.views[vi].members)
 			drop(vi)
-			r.st.GroupBatchHits++
+			w.st.GroupBatchHits++
 			if r.mode == modeMIR && c.InCount >= r.m {
 				return
 			}
 		case geom.Excludes:
 			c.OutCount += len(cg.views[vi].members)
 			drop(vi)
-			r.st.GroupBatchHits++
+			w.st.GroupBatchHits++
 			if r.mode == modeMIR && r.nU-c.OutCount < r.m {
 				return
 			}
@@ -348,19 +404,20 @@ func (r *aaRun) absorb(c *celltree.Cell, cg *cellGroups, rels []geom.Relation) {
 }
 
 // groupRelation decides whether every member of the view covers the cell
-// (Lemma 3), every member excludes it (Lemma 4), or neither. The fast path
-// is the dominance test of Section 5.3: if the cell's MBB min-corner
-// dominates the group's common top-k-th product r, every product in the
-// cell outscores r for every user; symmetrically for the max-corner.
-func (r *aaRun) groupRelation(c *celltree.Cell, v *view) geom.Relation {
-	return r.groupRelationInto(c, v, &r.tr.Stats)
+// (Lemma 3), every member excludes it (Lemma 4), or neither, accumulating
+// test counters into the worker's shard.
+func (w *aaWorker) groupRelation(c *celltree.Cell, v *view) geom.Relation {
+	return w.groupRelationInto(c, v, w.sh.Stats())
 }
 
 // groupRelationInto is groupRelation with the test counters accumulated
 // into st, so concurrent classifications of distinct views against a
-// prewarmed cell are race-free (each view is owned by one goroutine; the
-// lazy hull cache is therefore written by its owner only).
-func (r *aaRun) groupRelationInto(c *celltree.Cell, v *view, st *celltree.Stats) geom.Relation {
+// prewarmed cell are race-free. The fast path is the dominance test of
+// Section 5.3: if the cell's MBB min-corner dominates the group's common
+// top-k-th product r, every product in the cell outscores r for every
+// user; symmetrically for the max-corner.
+func (w *aaWorker) groupRelationInto(c *celltree.Cell, v *view, st *celltree.Stats) geom.Relation {
+	r := w.r
 	if r.fast() {
 		if c.MBBLo.WeakDominates(v.g.R) {
 			return geom.Covers
@@ -394,7 +451,9 @@ func (r *aaRun) groupRelationInto(c *celltree.Cell, v *view, st *celltree.Stats)
 }
 
 // chooseView implements the group-selection strategy (largest by default;
-// Figure 17a ablates smallest and round-robin).
+// Figure 17a ablates smallest and round-robin). RoundRobinGroup advances a
+// run-global cursor, so the frontier scheduler is disabled for it (see
+// drain); the other strategies are pure functions of the cell's list.
 func (r *aaRun) chooseView(cg *cellGroups) int {
 	switch r.opts.GroupChoice {
 	case SmallestGroup:
@@ -427,16 +486,17 @@ func (r *aaRun) chooseView(cg *cellGroups) int {
 // at position vi of the cell's group list. It returns the group list to
 // hand down to the cell's (possibly new) leaves, or nil when the cell was
 // decided during processing.
-func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
+func (w *aaWorker) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
+	r := w.r
 	inst := r.inst
 	v := cg.views[vi]
 
 	var gc, ge, gi []int // positions into v.members (reusable scratch)
 	if r.opts.DisableInnerGroup {
 		// Ablation: classify every member with its own containment test.
-		gc, ge, gi = r.gcBuf[:0], r.geBuf[:0], r.giBuf[:0]
+		gc, ge, gi = w.gcBuf[:0], w.geBuf[:0], w.giBuf[:0]
 		for pos := range v.members {
-			switch c.Classify(inst.HS[v.members[pos]], r.fast()) {
+			switch c.ClassifyInto(inst.HS[v.members[pos]], r.fast(), w.sh.Stats()) {
 			case geom.Covers:
 				gc = append(gc, pos)
 			case geom.Excludes:
@@ -446,13 +506,13 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 			}
 		}
 	} else {
-		gc, ge, gi = r.classifyByHull(c, v)
+		gc, ge, gi = w.classifyByHull(c, v)
 	}
-	// The position lists live in the run's scratch (the parallel
+	// The position lists live in the worker's scratch (the parallel
 	// classification path returns fresh slices; storing those back just
 	// grows the scratch). Nothing below retains them: member lists are
 	// copied out before they land in views.
-	r.gcBuf, r.geBuf, r.giBuf = gc[:0], ge[:0], gi[:0]
+	w.gcBuf, w.geBuf, w.giBuf = gc[:0], ge[:0], gi[:0]
 	// Keep positions ascending: views inherit the group's member ordering
 	// (descending w[1] for d = 2, where the hull-extremes shortcut depends
 	// on it).
@@ -481,7 +541,7 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 		c.Payload = base
 	}
 
-	if r.verify(c) {
+	if w.verify(c) {
 		return nil
 	}
 	if len(gi) == 0 {
@@ -495,10 +555,10 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 	if r.opts.DisableInnerGroup {
 		insertPos = gi
 	} else {
-		insertPos = r.hullOfPositions(v, gi)
+		insertPos = w.hullOfPositions(v, gi)
 	}
-	remainder := subtractPositions(gi, insertPos, r.remBuf[:0])
-	r.remBuf = remainder[:0]
+	remainder := subtractPositions(gi, insertPos, w.remBuf[:0])
+	w.remBuf = remainder[:0]
 	newCG := base
 	if len(remainder) > 0 {
 		members := make([]int, len(remainder))
@@ -509,7 +569,7 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 		newCG.views = append(newCG.views, v.withMembers(members))
 	}
 	for _, pos := range insertPos {
-		insertHS(r.tr, c, inst.HS[v.members[pos]], r.fast(), nil)
+		insertHS(w.sh, c, inst.HS[v.members[pos]], r.fast(), nil)
 	}
 	return newCG
 }
@@ -521,27 +581,28 @@ func (r *aaRun) insertGroup(c *celltree.Cell, cg *cellGroups, vi int) *cellGroup
 // inside conv of covering vertices covering, and likewise for excluded).
 // Members are pre-filtered with the O(d) MBB test. Large views fan their
 // per-member classification (MBB pre-tests and hull-membership LPs) across
-// workers; see classifyByHullParallel.
-func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
-	if w := r.workers(); w > 1 && len(v.members) >= minParallelMembers {
-		return r.classifyByHullParallel(c, v, w)
+// the worker's fan-out; see classifyByHullParallel.
+func (w *aaWorker) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
+	if w.fanout > 1 && len(v.members) >= minParallelMembers {
+		return w.classifyByHullParallel(c, v)
 	}
+	r := w.r
 	inst := r.inst
 	hullPos := v.hullPositions(inst)
 	// Reusable scratch: the position lists, a position-indexed hull marker,
-	// and the vertex point lists (the run loop is single-goroutine here).
-	gc, ge, gi = r.gcBuf[:0], r.geBuf[:0], r.giBuf[:0]
-	if cap(r.isHullBuf) < len(v.members) {
-		r.isHullBuf = make([]bool, len(v.members))
+	// and the vertex point lists (one worker goroutine owns them).
+	gc, ge, gi = w.gcBuf[:0], w.geBuf[:0], w.giBuf[:0]
+	if cap(w.isHullBuf) < len(v.members) {
+		w.isHullBuf = make([]bool, len(v.members))
 	}
-	isHull := r.isHullBuf[:len(v.members)]
+	isHull := w.isHullBuf[:len(v.members)]
 	for i := range isHull {
 		isHull[i] = false
 	}
-	vcPts, vePts := r.vcPts[:0], r.vePts[:0]
+	vcPts, vePts := w.vcPts[:0], w.vePts[:0]
 	for _, pos := range hullPos {
 		isHull[pos] = true
-		switch c.Classify(inst.HS[v.members[pos]], r.fast()) {
+		switch c.ClassifyInto(inst.HS[v.members[pos]], r.fast(), w.sh.Stats()) {
 		case geom.Covers:
 			gc = append(gc, pos)
 			vcPts = append(vcPts, inst.WProj[v.members[pos]])
@@ -552,7 +613,7 @@ func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
 			gi = append(gi, pos)
 		}
 	}
-	r.vcPts, r.vePts = vcPts, vePts
+	w.vcPts, w.vePts = vcPts, vePts
 	for pos := range v.members {
 		if isHull[pos] {
 			continue
@@ -560,7 +621,7 @@ func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
 		ui := v.members[pos]
 		// Fast MBB pre-test on the member's own halfspace.
 		if r.fast() {
-			if rel, ok := c.FastClassify(inst.HS[ui]); ok {
+			if rel, ok := c.FastClassifyInto(inst.HS[ui], w.sh.Stats()); ok {
 				if rel == geom.Covers {
 					gc = append(gc, pos)
 				} else {
@@ -570,9 +631,9 @@ func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
 			}
 		}
 		switch {
-		case len(vcPts) > 0 && r.inHull(inst.WProj[ui], vcPts):
+		case len(vcPts) > 0 && w.inHull(inst.WProj[ui], vcPts):
 			gc = append(gc, pos)
-		case len(vePts) > 0 && r.inHull(inst.WProj[ui], vePts):
+		case len(vePts) > 0 && w.inHull(inst.WProj[ui], vePts):
 			ge = append(ge, pos)
 		default:
 			gi = append(gi, pos)
@@ -586,22 +647,24 @@ func (r *aaRun) classifyByHull(c *celltree.Cell, v *view) (gc, ge, gi []int) {
 const minParallelMembers = 4
 
 // classifyByHullParallel is classifyByHull with both stages fanned across
-// workers: first the hull vertices are classified concurrently, then —
-// once the covering/excluding vertex hulls are fixed — the interior
-// members run their MBB pre-tests and hull-membership LPs concurrently.
-// Results are materialized per position and appended in the sequential
-// iteration order, so gc/ge/gi (and every downstream decision) are
-// identical to the sequential classification for any worker count.
-func (r *aaRun) classifyByHullParallel(c *celltree.Cell, v *view, workers int) (gc, ge, gi []int) {
+// the worker's fan-out: first the hull vertices are classified
+// concurrently, then — once the covering/excluding vertex hulls are fixed
+// — the interior members run their MBB pre-tests and hull-membership LPs
+// concurrently. Results are materialized per position and appended in the
+// sequential iteration order, so gc/ge/gi (and every downstream decision)
+// are identical to the sequential classification for any fan-out.
+func (w *aaWorker) classifyByHullParallel(c *celltree.Cell, v *view) (gc, ge, gi []int) {
+	r := w.r
 	inst := r.inst
+	workers := w.fanout
 	c.Prewarm()
 	hullPos := v.hullPositions(inst)
 	stats := make([]celltree.Stats, workers)
 
 	// Stage 1: the hull vertices, via full geometric tests.
 	hullRel := make([]geom.Relation, len(hullPos))
-	par.ForWorker(len(hullPos), workers, func(w, i int) {
-		hullRel[i] = c.ClassifyInto(inst.HS[v.members[hullPos[i]]], r.fast(), &stats[w])
+	par.ForWorker(len(hullPos), workers, func(g, i int) {
+		hullRel[i] = c.ClassifyInto(inst.HS[v.members[hullPos[i]]], r.fast(), &stats[g])
 	})
 	isHull := make(map[int]bool, len(hullPos))
 	var vc, ve []int
@@ -629,31 +692,31 @@ func (r *aaRun) classifyByHullParallel(c *celltree.Cell, v *view, workers int) (
 	// Stage 2: interior members against the now-fixed vertex hulls.
 	memRel := make([]geom.Relation, len(v.members))
 	hullTests := make([]int, workers)
-	par.ForWorker(len(v.members), workers, func(w, pos int) {
+	par.ForWorker(len(v.members), workers, func(g, pos int) {
 		if isHull[pos] {
 			return
 		}
 		ui := v.members[pos]
 		if r.fast() {
-			if rel, ok := c.FastClassifyInto(inst.HS[ui], &stats[w]); ok {
+			if rel, ok := c.FastClassifyInto(inst.HS[ui], &stats[g]); ok {
 				memRel[pos] = rel
 				return
 			}
 		}
 		switch {
-		case len(vcPts) > 0 && func() bool { hullTests[w]++; return geom.InConvexHull(inst.WProj[ui], vcPts) }():
+		case len(vcPts) > 0 && func() bool { hullTests[g]++; return geom.InConvexHull(inst.WProj[ui], vcPts) }():
 			memRel[pos] = geom.Covers
-		case len(vePts) > 0 && func() bool { hullTests[w]++; return geom.InConvexHull(inst.WProj[ui], vePts) }():
+		case len(vePts) > 0 && func() bool { hullTests[g]++; return geom.InConvexHull(inst.WProj[ui], vePts) }():
 			memRel[pos] = geom.Excludes
 		default:
 			memRel[pos] = geom.Cuts
 		}
 	})
 	for _, s := range stats {
-		r.tr.Stats.MergeTests(s)
+		w.sh.Stats().MergeTests(s)
 	}
 	for _, n := range hullTests {
-		r.st.HullTests += n
+		w.st.HullTests += n
 	}
 	for pos := range v.members {
 		if isHull[pos] {
@@ -672,16 +735,16 @@ func (r *aaRun) classifyByHullParallel(c *celltree.Cell, v *view, workers int) (
 }
 
 // inHull wraps the hull-membership LP, counting it for the ablation stats.
-func (r *aaRun) inHull(q geom.Vector, pts []geom.Vector) bool {
-	r.st.HullTests++
+func (w *aaWorker) inHull(q geom.Vector, pts []geom.Vector) bool {
+	w.st.HullTests++
 	return geom.InConvexHull(q, pts)
 }
 
 // hullOfPositions returns the subset of positions whose weight vectors are
 // hull vertices among the given positions. The point list is assembled in
-// the run's reusable scratch (the run loop is single-goroutine).
-func (r *aaRun) hullOfPositions(v *view, positions []int) []int {
-	inst := r.inst
+// the worker's reusable scratch.
+func (w *aaWorker) hullOfPositions(v *view, positions []int) []int {
+	inst := w.r.inst
 	if inst.Dim == 2 {
 		// Members are sorted by w[1]; the extremes are first and last.
 		if len(positions) <= 2 {
@@ -689,10 +752,10 @@ func (r *aaRun) hullOfPositions(v *view, positions []int) []int {
 		}
 		return []int{positions[0], positions[len(positions)-1]}
 	}
-	if cap(r.ptsBuf) < len(positions) {
-		r.ptsBuf = make([]geom.Vector, len(positions))
+	if cap(w.ptsBuf) < len(positions) {
+		w.ptsBuf = make([]geom.Vector, len(positions))
 	}
-	pts := r.ptsBuf[:len(positions)]
+	pts := w.ptsBuf[:len(positions)]
 	for i, pos := range positions {
 		pts[i] = inst.WProj[v.members[pos]]
 	}

@@ -34,7 +34,7 @@ func BSL(inst *Instance, m int) (*Region, error) {
 		if tr.Root.Status != celltree.Active && tr.Root.IsLeaf() {
 			break // the whole space is decided
 		}
-		insertHS(tr, tr.Root, h, true, verify)
+		insertHS(tr.OwnShard(), tr.Root, h, true, verify)
 	}
 	// Every surviving leaf has seen all users; decide it.
 	var st Stats

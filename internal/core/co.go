@@ -106,7 +106,7 @@ func SolveCOBestFirst(inst *Instance, m int, cost Cost, opts Options) (*COResult
 		bestCost: math.Inf(1),
 	}
 	run.seedRoot()
-	run.loop()
+	run.drain()
 	if run.bestPoint == nil {
 		return nil, ErrNoSolution
 	}
@@ -168,8 +168,8 @@ func AAWithBox(inst *Instance, m int, opts Options, box *geom.Polytope) (*Region
 	// box; with a restricted box it remains valid (reported parts are
 	// intersected with the cell), so no special handling is needed.
 	run.seedRoot()
-	run.loop()
-	return regionFromTree(run.tr, m, run.st), nil
+	run.drain()
+	return run.region(), nil
 }
 
 // upgradeBox returns [p, 1]^d.

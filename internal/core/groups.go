@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"mir/internal/geom"
 )
@@ -91,30 +92,40 @@ func (inst *Instance) GroupStats() GroupStats {
 // view is the per-cell, copy-on-write remainder of a group: the members
 // whose relation to the cell is still undecided (the entries of the
 // paper's individualized c.G list). Views are immutable once shared
-// between sibling cells; the hull cache is computed lazily and is
-// idempotent.
+// between sibling cells except for the hull cache, which is computed
+// lazily, holds a value that depends only on the (immutable) member list,
+// and is published through an atomic pointer: sibling leaves handed the
+// same view may be processed by different frontier workers, and a
+// duplicated computation is cheaper than a lock.
 type view struct {
 	g       *Group
 	members []int // user indices (inherit the group's ordering)
-	hull    []int // lazily computed positions (into members) of hull vertices
+	// hull caches the positions (into members) of hull vertices.
+	hull atomic.Pointer[[]int]
 }
 
 func newView(g *Group) *view {
-	return &view{g: g, members: g.Members, hull: g.Hull}
+	v := &view{g: g, members: g.Members}
+	if g.Hull != nil {
+		hull := g.Hull
+		v.hull.Store(&hull)
+	}
+	return v
 }
 
 // hullPositions returns the positions (indices into v.members) of the
 // convex-hull vertices of the view's user vectors in weight space. The
-// cache is written lazily by whichever single goroutine owns the view for
-// the current cell — views are never classified by two goroutines at once
-// (the parallel update fans across distinct views) — and root views
-// arrive pre-seeded from the group's precomputed hull.
+// cache fills lazily; concurrent fillers compute the same deterministic
+// value (hullPositionsOf is a pure function of the member list), so the
+// racing Store is idempotent. Root views arrive pre-seeded from the
+// group's precomputed hull.
 func (v *view) hullPositions(inst *Instance) []int {
-	if v.hull != nil {
-		return v.hull
+	if p := v.hull.Load(); p != nil {
+		return *p
 	}
-	v.hull = hullPositionsOf(inst, v.members)
-	return v.hull
+	hull := hullPositionsOf(inst, v.members)
+	v.hull.Store(&hull)
+	return hull
 }
 
 // hullPositionsOf returns the positions (indices into members) of the

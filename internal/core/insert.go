@@ -13,21 +13,25 @@ import (
 // whose counts changed, letting callers verify early reporting/elimination
 // immediately.
 //
+// All mutation and all test counting go through the shard, so concurrent
+// insertions into disjoint subtrees are safe; sequential callers pass the
+// tree's own shard (Tree.OwnShard).
+//
 // Classification happens at internal nodes too: when h covers or excludes
 // an entire internal region, the counts of every active leaf below are
 // bumped without further geometric tests.
-func insertHS(tr *celltree.Tree, c *celltree.Cell, h geom.Halfspace, fast bool, onChange func(*celltree.Cell)) {
+func insertHS(sh *celltree.Shard, c *celltree.Cell, h geom.Halfspace, fast bool, onChange func(*celltree.Cell)) {
 	if c.IsLeaf() && c.Status != celltree.Active {
 		return
 	}
-	switch c.Classify(h, fast) {
+	switch c.ClassifyInto(h, fast, sh.Stats()) {
 	case geom.Covers:
 		bumpSubtree(c, true, onChange)
 	case geom.Excludes:
 		bumpSubtree(c, false, onChange)
 	case geom.Cuts:
 		if c.IsLeaf() {
-			l, r := tr.SplitBy(c, h)
+			l, r := sh.SplitBy(c, h)
 			if l.Status == celltree.Active {
 				l.OutCount++
 				if onChange != nil {
@@ -42,8 +46,8 @@ func insertHS(tr *celltree.Tree, c *celltree.Cell, h geom.Halfspace, fast bool, 
 			}
 		} else {
 			left, right := c.Children()
-			insertHS(tr, left, h, fast, onChange)
-			insertHS(tr, right, h, fast, onChange)
+			insertHS(sh, left, h, fast, onChange)
+			insertHS(sh, right, h, fast, onChange)
 		}
 	}
 }

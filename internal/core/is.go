@@ -82,7 +82,7 @@ func maxCoverage(inst *Instance, box *geom.Polytope, base geom.Vector, budget fl
 	run.bestCov = inst.CountCovering(base)
 	run.bestCost = 0
 	run.seedRoot()
-	run.loop()
+	run.drain()
 	return &ISResult{
 		Point:        run.bestPoint,
 		Coverage:     run.bestCov,

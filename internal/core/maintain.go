@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 
 	"mir/internal/celltree"
 	"mir/internal/geom"
@@ -68,7 +70,7 @@ func (mt *Maintainer) NumUsers() int { return mt.nAlive }
 // Region extracts the current m-impact region from the maintained
 // arrangement.
 func (mt *Maintainer) Region() *Region {
-	return regionFromTree(mt.run.tr, mt.m, mt.run.st)
+	return mt.run.region()
 }
 
 // CountCovering returns the number of alive users covering point p.
@@ -137,26 +139,28 @@ func (mt *Maintainer) AddUser(u topk.UserPref) (int, error) {
 	g := &Group{Pivot: kth.Index, R: mt.products[kth.Index], Members: []int{idx}}
 
 	mt.run.nU = mt.nAlive
-	for _, leaf := range mt.run.tr.Leaves(nil, nil) {
-		if leaf.Empty {
-			continue
+	pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
+		for _, leaf := range mt.run.tr.Leaves(nil, nil) {
+			if leaf.Empty {
+				continue
+			}
+			cg := pendingOf(leaf).clone()
+			cg.views = append(cg.views, newView(g))
+			leaf.Payload = cg
+			if leaf.Status != celltree.Eliminated {
+				continue
+			}
+			// Elimination condition with the larger population: still valid?
+			if mt.nAlive-leaf.OutCount < mt.m {
+				continue
+			}
+			mt.run.tr.Reactivate(leaf)
+			if !mt.run.seq.verify(leaf) {
+				mt.run.heap.Push(leaf, mt.run.priority(leaf))
+			}
 		}
-		cg := pendingOf(leaf).clone()
-		cg.views = append(cg.views, newView(g))
-		leaf.Payload = cg
-		if leaf.Status != celltree.Eliminated {
-			continue
-		}
-		// Elimination condition with the larger population: still valid?
-		if mt.nAlive-leaf.OutCount < mt.m {
-			continue
-		}
-		mt.run.tr.Reactivate(leaf)
-		if !mt.run.verify(leaf) {
-			mt.run.heap.Push(leaf, mt.run.priority(leaf))
-		}
-	}
-	mt.run.loop()
+	})
+	mt.run.drain()
 	return idx, nil
 }
 
@@ -171,6 +175,16 @@ func (mt *Maintainer) RemoveUser(idx int) error {
 	mt.run.nU = mt.nAlive
 	h := mt.run.inst.HS[idx]
 
+	pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
+		mt.stripUser(idx, h)
+	})
+	mt.run.drain()
+	return nil
+}
+
+// stripUser removes the departed user from every leaf's pending views and
+// counts, re-queueing reported leaves whose decision the removal broke.
+func (mt *Maintainer) stripUser(idx int, h geom.Halfspace) {
 	for _, leaf := range mt.run.tr.Leaves(nil, nil) {
 		if leaf.Empty {
 			continue
@@ -215,13 +229,11 @@ func (mt *Maintainer) RemoveUser(idx int) error {
 		// Re-verify decisions that removal can break.
 		if leaf.Status == celltree.Reported && leaf.InCount < mt.m {
 			mt.run.tr.Reactivate(leaf)
-			if !mt.run.verify(leaf) {
+			if !mt.run.seq.verify(leaf) {
 				mt.run.heap.Push(leaf, mt.run.priority(leaf))
 			}
 		}
 	}
-	mt.run.loop()
-	return nil
 }
 
 // pendingOf returns the leaf's pending group list (empty when absent).

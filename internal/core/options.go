@@ -79,4 +79,12 @@ type Stats struct {
 	PrunedRows   int
 	// Iterations counts heap pops.
 	Iterations int
+	// StealCount counts successful frontier steals and MaxFrontier is the
+	// high-water mark of in-flight cells. Unlike every counter above, the
+	// two are scheduling-sensitive at Workers > 1 (they vary run to run)
+	// and are excluded from the cross-worker-count determinism contract.
+	// At Workers <= 1 StealCount is always 0 and MaxFrontier is the
+	// deterministic high-water mark of the sequential heap.
+	StealCount  int
+	MaxFrontier int
 }

@@ -18,6 +18,11 @@ type Region struct {
 	// CO adaptation. Nil for NVE results.
 	MBBs  [][2]geom.Vector
 	Stats Stats
+	// Sched carries the frontier scheduler's execution profile when the
+	// region was computed task-parallel (nil for sequential runs and
+	// non-AA algorithms). Its values are scheduling-sensitive and excluded
+	// from the determinism contract the rest of the Region obeys.
+	Sched *SchedStats
 }
 
 // Contains reports whether point p lies in the region (in at least one

@@ -16,7 +16,8 @@ import (
 //
 // It returns the group list for the cell's surviving leaves, or nil when
 // the cell was decided.
-func (r *aaRun) insert2D(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
+func (w *aaWorker) insert2D(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
+	r := w.r
 	v := cg.views[vi]
 	t := len(v.members)
 	m := r.m
@@ -32,9 +33,9 @@ func (r *aaRun) insert2D(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
 		// users m..t-m+1 (1-based) all exclude; only the m-1 top and m-1
 		// bottom members stay relevant.
 		hm, hr := hsOf(m-1), hsOf(t-m)
-		r.apply2D(c, hm, hr, func(leaf *celltree.Cell, inHm, inHr bool) {
+		w.apply2D(c, hm, hr, func(leaf *celltree.Cell, inHm, inHr bool) {
 			if inHm || inHr {
-				r.reportCell(leaf)
+				w.reportCell(leaf)
 				return
 			}
 			leaf.OutCount += t - 2*m + 2
@@ -57,9 +58,9 @@ func (r *aaRun) insert2D(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
 		if lPos == rPos {
 			// t = 2m-1: the two bounds coincide; a single halfspace decides.
 			h := hsOf(lPos)
-			r.apply2D(c, h, h, func(leaf *celltree.Cell, inH, _ bool) {
+			w.apply2D(c, h, h, func(leaf *celltree.Cell, inH, _ bool) {
 				if inH {
-					r.reportCell(leaf)
+					w.reportCell(leaf)
 					return
 				}
 				leaf.OutCount++
@@ -70,9 +71,9 @@ func (r *aaRun) insert2D(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
 			break
 		}
 		hl, hr := hsOf(lPos), hsOf(rPos)
-		r.apply2D(c, hl, hr, func(leaf *celltree.Cell, inL, inR bool) {
+		w.apply2D(c, hl, hr, func(leaf *celltree.Cell, inL, inR bool) {
 			if inL && inR {
-				r.reportCell(leaf)
+				w.reportCell(leaf)
 				return
 			}
 			bump(leaf, inL)
@@ -90,12 +91,12 @@ func (r *aaRun) insert2D(c *celltree.Cell, cg *cellGroups, vi int) *cellGroups {
 		// halfplanes (the 1-D hull) and defer the rest.
 		if t == 1 {
 			h := hsOf(0)
-			r.apply2D(c, h, h, func(leaf *celltree.Cell, inH, _ bool) {
+			w.apply2D(c, h, h, func(leaf *celltree.Cell, inH, _ bool) {
 				bump(leaf, inH)
 			})
 		} else {
 			h1, ht := hsOf(0), hsOf(t-1)
-			r.apply2D(c, h1, ht, func(leaf *celltree.Cell, in1, inT bool) {
+			w.apply2D(c, h1, ht, func(leaf *celltree.Cell, in1, inT bool) {
 				bump(leaf, in1)
 				bump(leaf, inT)
 			})
@@ -142,39 +143,39 @@ func dropPositions(members []int, lo, hi int) []int {
 // leaf with its in/out relation to each halfspace. Identical halfspaces
 // (ha == hb by pointer-free value) are handled naturally: the second
 // classification is conclusive after the first split.
-func (r *aaRun) apply2D(c *celltree.Cell, ha, hb geom.Halfspace, f func(leaf *celltree.Cell, inA, inB bool)) {
+func (w *aaWorker) apply2D(c *celltree.Cell, ha, hb geom.Halfspace, f func(leaf *celltree.Cell, inA, inB bool)) {
 	if c.Status != celltree.Active {
 		return
 	}
-	switch c.Classify(ha, r.fast()) {
+	switch c.ClassifyInto(ha, w.r.fast(), w.sh.Stats()) {
 	case geom.Covers:
-		r.apply2Db(c, hb, true, f)
+		w.apply2Db(c, hb, true, f)
 	case geom.Excludes:
-		r.apply2Db(c, hb, false, f)
+		w.apply2Db(c, hb, false, f)
 	default:
-		l, rr := r.tr.SplitBy(c, ha)
+		l, rr := w.sh.SplitBy(c, ha)
 		if rr.Status == celltree.Active {
-			r.apply2Db(rr, hb, true, f)
+			w.apply2Db(rr, hb, true, f)
 		}
 		if l.Status == celltree.Active {
-			r.apply2Db(l, hb, false, f)
+			w.apply2Db(l, hb, false, f)
 		}
 	}
 }
 
 // apply2Db handles the second halfspace once the relation to the first is
 // known.
-func (r *aaRun) apply2Db(c *celltree.Cell, hb geom.Halfspace, inA bool, f func(leaf *celltree.Cell, inA, inB bool)) {
+func (w *aaWorker) apply2Db(c *celltree.Cell, hb geom.Halfspace, inA bool, f func(leaf *celltree.Cell, inA, inB bool)) {
 	if c.Status != celltree.Active {
 		return
 	}
-	switch c.Classify(hb, r.fast()) {
+	switch c.ClassifyInto(hb, w.r.fast(), w.sh.Stats()) {
 	case geom.Covers:
 		f(c, inA, true)
 	case geom.Excludes:
 		f(c, inA, false)
 	default:
-		l, rr := r.tr.SplitBy(c, hb)
+		l, rr := w.sh.SplitBy(c, hb)
 		if rr.Status == celltree.Active {
 			f(rr, inA, true)
 		}

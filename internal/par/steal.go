@@ -1,0 +1,359 @@
+package par
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the task-parallel frontier scheduler behind AA's
+// arrangement construction: N workers, each owning a local priority queue,
+// processing independent tasks and stealing from peers when idle.
+//
+// The scheduler makes no ordering promises beyond "every pushed task runs
+// exactly once". It is therefore only appropriate for task systems whose
+// outcome commutes — where processing order changes wall-clock time and
+// scheduling counters, but never results. AA's mIR mode has exactly this
+// property (a cell's fate depends only on its own payload); the caller is
+// responsible for ensuring it.
+//
+// Priorities shape the traversal, not the answer: each worker pops its
+// locally best (smallest-priority) task, which keeps the frontier biased
+// toward cells closest to a decision and hence small. Steals take the
+// back half of the victim's backing array — a trailing slice of a binary
+// heap is cheap to detach (the remaining prefix is still a heap) and
+// deliberately grabs the victim's *worse* half, leaving the near-decision
+// cells with the worker that has them cached.
+
+// FrontierStats describes one frontier execution. All fields except
+// Workers are timing-dependent: they vary run to run and across worker
+// counts, unlike the task results themselves. They exist for
+// observability (scaling diagnosis), not for determinism contracts.
+type FrontierStats struct {
+	// Workers is the number of worker goroutines the frontier ran with.
+	Workers int
+	// Steals counts successful steal operations (not tasks moved).
+	Steals int
+	// MaxPending is the high-water mark of in-flight tasks (queued +
+	// running), i.e. the widest the frontier ever got.
+	MaxPending int
+	// PerWorker[i] is the number of tasks worker i executed.
+	PerWorker []int
+}
+
+// FrontierWorker is the per-worker handle passed to the task callback.
+type FrontierWorker[T any] struct {
+	f        *frontier[T]
+	id       int
+	executed int
+}
+
+// ID returns the worker's index in [0, workers).
+func (fw *FrontierWorker[T]) ID() int { return fw.id }
+
+// Push enqueues a new task on the calling worker's local queue (smaller
+// priorities pop first locally). Idle peers may steal it.
+func (fw *FrontierWorker[T]) Push(t T, pri float64) { fw.f.push(fw.id, t, pri) }
+
+// RunFrontier executes a priority-ordered task-parallel frontier: the
+// seed tasks are distributed round-robin over workers-many local queues,
+// and each worker loops {pop local best | steal from a peer | park}
+// running run(worker, task) until every task — seeds and tasks pushed
+// during processing alike — has been executed. It returns once the
+// frontier is empty and all workers have exited.
+//
+// workers is taken as given (callers resolve it first); workers <= 1 runs
+// every task inline on the calling goroutine in strict priority order.
+func RunFrontier[T any](workers int, seeds []T, pris []float64, run func(fw *FrontierWorker[T], task T)) FrontierStats {
+	if len(seeds) != len(pris) {
+		panic("par: RunFrontier seeds/pris length mismatch")
+	}
+	if workers <= 1 {
+		return runFrontierInline(seeds, pris, run)
+	}
+	f := &frontier[T]{
+		qs:  make([]frontierQueue[T], workers),
+		run: run,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.pending.Store(int64(len(seeds)))
+	f.queued.Store(int64(len(seeds)))
+	f.maxPending.Store(int64(len(seeds)))
+	for i := range seeds {
+		f.qs[i%workers].push(seeds[i], pris[i])
+	}
+	var wg sync.WaitGroup
+	workerStats := make([]int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			workerStats[w] = f.work(w)
+		}(w)
+	}
+	wg.Wait()
+	return FrontierStats{
+		Workers:    workers,
+		Steals:     int(f.steals.Load()),
+		MaxPending: int(f.maxPending.Load()),
+		PerWorker:  workerStats,
+	}
+}
+
+// runFrontierInline is the single-worker degenerate case: one heap, strict
+// best-first order, no synchronization — the same execution a sequential
+// caller-owned loop would perform.
+func runFrontierInline[T any](seeds []T, pris []float64, run func(fw *FrontierWorker[T], task T)) FrontierStats {
+	f := &frontier[T]{qs: make([]frontierQueue[T], 1), run: run}
+	q := &f.qs[0]
+	for i := range seeds {
+		q.push(seeds[i], pris[i])
+	}
+	fw := &FrontierWorker[T]{f: f, id: 0}
+	max := len(q.items)
+	for {
+		t, _, ok := q.pop()
+		if !ok {
+			break
+		}
+		run(fw, t)
+		fw.executed++
+		if n := len(q.items) + 1; n > max {
+			max = n
+		}
+	}
+	return FrontierStats{Workers: 1, MaxPending: max, PerWorker: []int{fw.executed}}
+}
+
+// frontier is the shared scheduler state.
+type frontier[T any] struct {
+	qs  []frontierQueue[T]
+	run func(fw *FrontierWorker[T], task T)
+
+	// pending counts tasks not yet fully executed (queued or running);
+	// the frontier terminates when it reaches zero. queued counts tasks
+	// sitting in some local queue — the cheap "is there anything to
+	// steal?" signal parked workers re-check.
+	pending atomic.Int64
+	queued  atomic.Int64
+
+	maxPending atomic.Int64
+	steals     atomic.Int64
+
+	// sleepers is the number of workers at or past the pre-park recheck;
+	// pushers only take the park mutex when it is non-zero, keeping the
+	// push fast path lock-free beyond the local queue.
+	sleepers atomic.Int32
+	mu       sync.Mutex
+	cond     *sync.Cond
+}
+
+// frontierQueue is one worker's local priority queue: a binary min-heap
+// behind a mutex. The owner pops the front; thieves detach the back half
+// of the backing array (any suffix removal preserves the heap property of
+// the remaining prefix).
+type frontierQueue[T any] struct {
+	mu    sync.Mutex
+	items []frontierItem[T]
+}
+
+type frontierItem[T any] struct {
+	v   T
+	pri float64
+}
+
+// push enqueues locked.
+func (q *frontierQueue[T]) push(v T, pri float64) {
+	q.items = append(q.items, frontierItem[T]{v, pri})
+	i := len(q.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.items[p].pri <= q.items[i].pri {
+			break
+		}
+		q.items[p], q.items[i] = q.items[i], q.items[p]
+		i = p
+	}
+}
+
+// pop removes the locked queue's minimum-priority item.
+func (q *frontierQueue[T]) pop() (T, float64, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = frontierItem[T]{} // release the popped task's reference
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && q.items[l].pri < q.items[small].pri {
+			small = l
+		}
+		if r < last && q.items[r].pri < q.items[small].pri {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.items[i], q.items[small] = q.items[small], q.items[i]
+		i = small
+	}
+	return top.v, top.pri, true
+}
+
+// detachHalf removes and returns the back half (at least one item) of the
+// locked queue's backing array. The remaining prefix is still a valid
+// heap, so the victim needs no re-heapify.
+func (q *frontierQueue[T]) detachHalf() []frontierItem[T] {
+	n := len(q.items)
+	if n == 0 {
+		return nil
+	}
+	keep := n / 2
+	stolen := make([]frontierItem[T], n-keep)
+	copy(stolen, q.items[keep:])
+	for i := keep; i < n; i++ {
+		q.items[i] = frontierItem[T]{}
+	}
+	q.items = q.items[:keep]
+	return stolen
+}
+
+// push enqueues a task on worker w's queue and wakes a parked worker if
+// any.
+func (f *frontier[T]) push(w int, v T, pri float64) {
+	p := f.pending.Add(1)
+	for {
+		old := f.maxPending.Load()
+		if p <= old || f.maxPending.CompareAndSwap(old, p) {
+			break
+		}
+	}
+	q := &f.qs[w]
+	q.mu.Lock()
+	q.push(v, pri)
+	q.mu.Unlock()
+	f.queued.Add(1)
+	if f.sleepers.Load() > 0 {
+		// Serialize with the sleeper's pre-park recheck (see park): taking
+		// and releasing the park mutex guarantees the Signal cannot slip
+		// between a sleeper's last queue scan and its Wait.
+		f.mu.Lock()
+		f.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		f.cond.Signal()
+	}
+}
+
+// popLocal takes the best task from the worker's own queue.
+func (f *frontier[T]) popLocal(w int) (T, float64, bool) {
+	q := &f.qs[w]
+	q.mu.Lock()
+	v, pri, ok := q.pop()
+	q.mu.Unlock()
+	if ok {
+		f.queued.Add(-1)
+	}
+	return v, pri, ok
+}
+
+// steal scans the peers round-robin from w+1 and moves the back half of
+// the first non-empty queue into w's own, returning the best of the loot.
+func (f *frontier[T]) steal(w int) (T, float64, bool) {
+	n := len(f.qs)
+	for off := 1; off < n; off++ {
+		victim := &f.qs[(w+off)%n]
+		victim.mu.Lock()
+		loot := victim.detachHalf()
+		victim.mu.Unlock()
+		if len(loot) == 0 {
+			continue
+		}
+		f.steals.Add(1)
+		own := &f.qs[w]
+		own.mu.Lock()
+		for _, it := range loot {
+			own.push(it.v, it.pri)
+		}
+		v, pri, ok := own.pop()
+		own.mu.Unlock()
+		// The loot was already counted in queued (moving it between queues
+		// is net zero); only the task popped for execution leaves the count.
+		f.queued.Add(-1)
+		return v, pri, ok
+	}
+	var zero T
+	return zero, 0, false
+}
+
+// park blocks the worker until new work may exist or the frontier is
+// done. It returns false when the frontier has terminated.
+//
+// Lost-wakeup safety: the worker publishes itself in sleepers *before*
+// the final work recheck. A concurrent push either (a) completes its
+// enqueue before our recheck reads queued — the recheck sees it — or
+// (b) reads sleepers > 0 afterwards and then acquires the park mutex,
+// which we hold until cond.Wait releases it, so its Signal lands while we
+// are waiting.
+func (f *frontier[T]) park() bool {
+	f.mu.Lock()
+	f.sleepers.Add(1)
+	if f.pending.Load() == 0 {
+		f.sleepers.Add(-1)
+		f.mu.Unlock()
+		return false
+	}
+	if f.queued.Load() > 0 {
+		f.sleepers.Add(-1)
+		f.mu.Unlock()
+		return true
+	}
+	f.cond.Wait()
+	f.sleepers.Add(-1)
+	f.mu.Unlock()
+	return f.pending.Load() > 0
+}
+
+// work is one worker's main loop; it returns the number of tasks the
+// worker executed.
+func (f *frontier[T]) work(w int) int {
+	fw := &FrontierWorker[T]{f: f, id: w}
+	base := pprof.Labels("mir_phase", "frontier", "mir_worker", strconv.Itoa(w))
+	ctx := pprof.WithLabels(context.Background(), base)
+	pprof.SetGoroutineLabels(ctx)
+	stealCtx := pprof.WithLabels(context.Background(),
+		pprof.Labels("mir_phase", "steal", "mir_worker", strconv.Itoa(w)))
+	for {
+		t, _, ok := f.popLocal(w)
+		if !ok {
+			// Hunting: tag the goroutine so profiles separate productive
+			// frontier time from steal/idle time.
+			pprof.SetGoroutineLabels(stealCtx)
+			t, _, ok = f.steal(w)
+			if !ok && f.park() {
+				pprof.SetGoroutineLabels(ctx)
+				continue
+			}
+			pprof.SetGoroutineLabels(ctx)
+			if !ok {
+				return fw.executed
+			}
+		}
+		f.run(fw, t)
+		fw.executed++
+		if f.pending.Add(-1) == 0 {
+			// Frontier drained: wake every parked worker so they observe
+			// pending == 0 and exit. The empty critical section pairs with
+			// park's publish-then-wait sequence.
+			f.mu.Lock()
+			f.mu.Unlock() //nolint:staticcheck
+			f.cond.Broadcast()
+		}
+	}
+}

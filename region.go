@@ -102,6 +102,11 @@ type Stats struct {
 	EarlyReported    int
 	EarlyEliminated  int
 	Iterations       int
+	// StealCount and MaxFrontier profile the task-parallel frontier
+	// scheduler (zero for sequential runs). Unlike the counters above they
+	// are scheduling-sensitive: they vary run to run at Workers > 1.
+	StealCount  int
+	MaxFrontier int
 }
 
 // Stats returns the computation counters.
@@ -117,5 +122,29 @@ func (r *Region) Stats() Stats {
 		EarlyReported:    s.EarlyReported,
 		EarlyEliminated:  s.EarlyEliminated,
 		Iterations:       s.Iterations,
+		StealCount:       s.StealCount,
+		MaxFrontier:      s.MaxFrontier,
 	}
+}
+
+// SchedStats describes how the task-parallel frontier executed: worker
+// count, steal traffic, frontier width, and the per-worker cell load.
+// Every field except Workers varies run to run — the scheduler promises
+// identical results, not identical schedules.
+type SchedStats struct {
+	Workers        int
+	Steals         int
+	MaxFrontier    int
+	PerWorkerCells []int
+}
+
+// Sched returns the frontier scheduler's execution profile, or nil when
+// the region was computed sequentially.
+func (r *Region) Sched() *SchedStats {
+	s := r.reg.Sched
+	if s == nil {
+		return nil
+	}
+	per := append([]int(nil), s.PerWorkerCells...)
+	return &SchedStats{Workers: s.Workers, Steals: s.Steals, MaxFrontier: s.MaxFrontier, PerWorkerCells: per}
 }
