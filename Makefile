@@ -35,17 +35,19 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Machine-readable AA benchmark matrix (wall time, allocs/op, LP-call and
-# scheduler counters per dataset, pruning setting, and worker count). CI
-# regenerates and uploads this; the committed copy is the reference point
-# for regressions.
+# Machine-readable AA benchmark matrix (wall time, allocs/op, LP-call,
+# simplex-pivot, and scheduler counters per dataset, pruning setting,
+# warm-start setting, and worker count). CI regenerates and uploads this;
+# the committed copy is the reference point for regressions.
 bench-json:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.json
 
 # Regenerate the matrix to a scratch path and gate it against the
 # committed BENCH_AA.json: fails if any workers=1 row allocates more than
-# 10% over the reference (single-worker allocation counts are
-# deterministic, so that margin is pure headroom). Wall times never gate.
+# 10% over the reference, or runs more than 10% more simplex pivots/op
+# (both counters are deterministic at one worker, so those margins are
+# pure headroom; the pivot gate catches warm starts silently going cold).
+# Wall times never gate.
 bench-check:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.ci.json -baseline BENCH_AA.json
 

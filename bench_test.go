@@ -37,11 +37,18 @@ func benchAnalyzer(b *testing.B, pd ProductDist, ud UserDist, nP, nU, d, k int, 
 func runRegion(b *testing.B, an *Analyzer, m int) {
 	b.Helper()
 	b.ResetTimer()
+	var pivots int64
 	for i := 0; i < b.N; i++ {
-		if _, err := an.ImpactRegion(m); err != nil {
+		reg, err := an.ImpactRegion(m)
+		if err != nil {
 			b.Fatal(err)
 		}
+		pivots += reg.Stats().Pivots
 	}
+	// Simplex pivots are the deterministic cost metric behind the wall
+	// clock: they expose the warm-start savings independent of machine
+	// noise (compare against a -test.benchtime run with DisableWarmStart).
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
 }
 
 // BenchmarkFig7TripAdvisorCaseStudy: the 2-D TA-like case study.

@@ -21,9 +21,10 @@ import (
 //
 // The workload matches the in-repo Go benchmarks (BenchmarkAAParallel):
 // |P|=5000, |U|=80 clustered users, d=3, k=10, m=|U|/2. The matrix runs
-// workers=1 with pruning on and off (the deterministic reference rows),
-// then workers=2 and 4 with pruning on (the scaling rows). Only the seed
-// is taken from the command line.
+// workers=1 with pruning on and off and with warm-started LPs on and off
+// (the deterministic reference rows; the warm/cold pair measures the
+// pivot reduction of basis reuse), then workers=2 and 4 with everything
+// on (the scaling rows). Only the seed is taken from the command line.
 const (
 	jsonBenchP    = 5000
 	jsonBenchU    = 80
@@ -42,8 +43,11 @@ type benchResult struct {
 	K        int    `json:"k"`
 	M        int    `json:"m"`
 	Pruning  bool   `json:"pruning"`
-	Workers  int    `json:"workers"`
-	Runs     int    `json:"runs"`
+	// WarmStart records whether LP solves re-entered parent-cell bases;
+	// the warm/cold workers=1 pair differs only in the pivot counters.
+	WarmStart bool `json:"warm_start"`
+	Workers   int  `json:"workers"`
+	Runs      int  `json:"runs"`
 
 	// WallSeconds is the fastest of Runs measured executions (the standard
 	// benchmarking convention: minimum wall time is the least noisy
@@ -81,15 +85,19 @@ type benchReport struct {
 	Results   []benchResult `json:"results"`
 }
 
-// jsonBenchMatrix is the (pruning, workers) grid measured per dataset.
+// jsonBenchMatrix is the (pruning, warm-start, workers) grid measured per
+// dataset. The {pruning, cold, 1} row is the warm-start ablation reference:
+// its Stats differ from {pruning, warm, 1} only in the LP effort counters.
 var jsonBenchMatrix = []struct {
 	pruning bool
+	warm    bool
 	workers int
 }{
-	{true, 1},
-	{false, 1},
-	{true, 2},
-	{true, 4},
+	{true, true, 1},
+	{true, false, 1},
+	{false, true, 1},
+	{true, true, 2},
+	{true, true, 4},
 }
 
 // runJSONBench measures the AA matrix and writes the report to path. When
@@ -109,17 +117,22 @@ func runJSONBench(cfg config, path, baselinePath string) error {
 	for _, dataset := range []string{"IND", "COR", "ANTI"} {
 		inst := cfg.instance(dataset, "CL", jsonBenchP, jsonBenchU, jsonBenchD, jsonBenchK, 101)
 		for _, cell := range jsonBenchMatrix {
-			opts := core.Options{Workers: cell.workers, DisablePruning: !cell.pruning}
+			opts := core.Options{
+				Workers:          cell.workers,
+				DisablePruning:   !cell.pruning,
+				DisableWarmStart: !cell.warm,
+			}
 			res := benchResult{
-				Dataset:  dataset,
-				Products: jsonBenchP,
-				Users:    jsonBenchU,
-				Dim:      jsonBenchD,
-				K:        jsonBenchK,
-				M:        m,
-				Pruning:  cell.pruning,
-				Workers:  cell.workers,
-				Runs:     jsonBenchRuns,
+				Dataset:   dataset,
+				Products:  jsonBenchP,
+				Users:     jsonBenchU,
+				Dim:       jsonBenchD,
+				K:         jsonBenchK,
+				M:         m,
+				Pruning:   cell.pruning,
+				WarmStart: cell.warm,
+				Workers:   cell.workers,
+				Runs:      jsonBenchRuns,
 			}
 			// Warm-up run: populates the scratch pools and JIT-independent
 			// caches so the measured runs see steady state, and supplies the
@@ -127,8 +140,8 @@ func runJSONBench(cfg config, path, baselinePath string) error {
 			// worker counts; see TestFrontierParallelByteIdentical).
 			reg, err := core.AA(inst, m, opts)
 			if err != nil {
-				return fmt.Errorf("%s pruning=%v workers=%d: %w",
-					dataset, cell.pruning, cell.workers, err)
+				return fmt.Errorf("%s pruning=%v warm=%v workers=%d: %w",
+					dataset, cell.pruning, cell.warm, cell.workers, err)
 			}
 			res.Stats = reg.Stats
 			res.Stats.StealCount, res.Stats.MaxFrontier = 0, 0
@@ -156,9 +169,9 @@ func runJSONBench(cfg config, path, baselinePath string) error {
 			res.AllocsPerOp = allocs / jsonBenchRuns
 			res.BytesPerOp = bytes / jsonBenchRuns
 			report.Results = append(report.Results, res)
-			fmt.Printf("%-5s pruning=%-5v workers=%d  %8.3fs  %9d allocs/op  %9d prune-LPs  %6d steals\n",
-				dataset, cell.pruning, cell.workers, res.WallSeconds, res.AllocsPerOp,
-				res.Stats.PruneLPTests, schedSteals(res.Sched))
+			fmt.Printf("%-5s pruning=%-5v warm=%-5v workers=%d  %8.3fs  %9d allocs/op  %9d pivots/op  %6d steals\n",
+				dataset, cell.pruning, cell.warm, cell.workers, res.WallSeconds, res.AllocsPerOp,
+				res.Stats.Pivots, schedSteals(res.Sched))
 		}
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -187,12 +200,19 @@ func schedSteals(s *core.SchedStats) int {
 // over the committed baseline before checkBaseline fails: allocation
 // counts at one worker are deterministic, so anything past noise is a
 // real regression (a lost pooled buffer, a reintroduced per-cell clone).
-const allocRegressionTolerance = 1.10
+// pivotRegressionTolerance plays the same role for the simplex pivot
+// counters: workers=1 pivot counts are exactly reproducible for a fixed
+// configuration, so a >10% jump means warm starts stopped landing (stale
+// keys, broken basis handoff) or a solver change made the search walk.
+const (
+	allocRegressionTolerance = 1.10
+	pivotRegressionTolerance = 1.10
+)
 
 // checkBaseline compares the fresh report's workers=1 rows against the
-// committed BENCH_AA.json and fails on an allocs/op regression beyond
-// allocRegressionTolerance. Only the single-worker rows gate: their
-// allocation counts are exactly reproducible, while multi-worker rows
+// committed BENCH_AA.json and fails on an allocs/op or pivots/op
+// regression beyond the tolerances above. Only the single-worker rows
+// gate: their counts are exactly reproducible, while multi-worker rows
 // jitter with the schedule (per-worker scratch grows with steal traffic).
 // Wall times never gate — CI machines are too noisy for that.
 func checkBaseline(fresh benchReport, baselinePath string) error {
@@ -207,13 +227,19 @@ func checkBaseline(fresh benchReport, baselinePath string) error {
 	type key struct {
 		dataset string
 		pruning bool
+		warm    bool
 	}
-	ref := make(map[key]uint64)
+	type refRow struct {
+		allocs uint64
+		pivots int64
+	}
+	ref := make(map[key]refRow)
 	for _, r := range base.Results {
 		// Reports written before the workers axis existed carry Workers=0;
-		// those rows were measured at one worker.
+		// those rows were measured at one worker. Reports written before the
+		// warm-start axis carry WarmStart=false on every row.
 		if r.Workers == 1 || r.Workers == 0 {
-			ref[key{r.Dataset, r.Pruning}] = r.AllocsPerOp
+			ref[key{r.Dataset, r.Pruning, r.WarmStart}] = refRow{r.AllocsPerOp, r.Stats.Pivots}
 		}
 	}
 	if len(ref) == 0 {
@@ -224,25 +250,41 @@ func checkBaseline(fresh benchReport, baselinePath string) error {
 		if r.Workers != 1 {
 			continue
 		}
-		want, ok := ref[key{r.Dataset, r.Pruning}]
+		want, ok := ref[key{r.Dataset, r.Pruning, r.WarmStart}]
+		if !ok && r.WarmStart {
+			// Pre-warm-start baseline: its rows are cold and unlabeled, and
+			// still gate the allocation counts of today's warm rows.
+			want, ok = ref[key{r.Dataset, r.Pruning, false}]
+		}
 		if !ok {
-			fmt.Printf("baseline: no reference for %s pruning=%v; skipping\n", r.Dataset, r.Pruning)
+			fmt.Printf("baseline: no reference for %s pruning=%v warm=%v; skipping\n",
+				r.Dataset, r.Pruning, r.WarmStart)
 			continue
 		}
-		limit := uint64(float64(want) * allocRegressionTolerance)
+		limit := uint64(float64(want.allocs) * allocRegressionTolerance)
 		status := "ok"
 		if r.AllocsPerOp > limit {
 			status = "FAIL"
 			failures = append(failures, fmt.Sprintf(
-				"%s pruning=%v: %d allocs/op vs baseline %d (limit %d)",
-				r.Dataset, r.Pruning, r.AllocsPerOp, want, limit))
+				"%s pruning=%v warm=%v: %d allocs/op vs baseline %d (limit %d)",
+				r.Dataset, r.Pruning, r.WarmStart, r.AllocsPerOp, want.allocs, limit))
 		}
-		fmt.Printf("baseline %-4s %-5s pruning=%-5v  %9d allocs/op vs %9d (limit %9d)\n",
-			status, r.Dataset, r.Pruning, r.AllocsPerOp, want, limit)
+		// Pivot gate: skipped when the baseline predates the pivot counters
+		// (its rows report zero pivots) or records a different warm setting.
+		pivotLimit := int64(float64(want.pivots) * pivotRegressionTolerance)
+		if want.pivots > 0 && r.Stats.Pivots > pivotLimit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s pruning=%v warm=%v: %d pivots/op vs baseline %d (limit %d)",
+				r.Dataset, r.Pruning, r.WarmStart, r.Stats.Pivots, want.pivots, pivotLimit))
+		}
+		fmt.Printf("baseline %-4s %-5s pruning=%-5v warm=%-5v  %9d allocs/op vs %9d  %9d pivots/op vs %9d\n",
+			status, r.Dataset, r.Pruning, r.WarmStart, r.AllocsPerOp, want.allocs,
+			r.Stats.Pivots, want.pivots)
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("allocs/op regressed beyond %.0f%% of baseline:\n  %s",
-			(allocRegressionTolerance-1)*100, joinLines(failures))
+		return fmt.Errorf("workers=1 counters regressed beyond tolerance:\n  %s",
+			joinLines(failures))
 	}
 	fmt.Println("baseline check passed")
 	return nil

@@ -26,6 +26,7 @@ package celltree
 
 import (
 	"mir/internal/geom"
+	"mir/internal/lp"
 )
 
 // Status is a leaf's lifecycle state.
@@ -90,6 +91,15 @@ type Cell struct {
 	splitFlip   geom.Halfspace // split.Flip(), cached (left-child paths reuse it)
 	owner       *Tree
 	poly        *geom.Polytope // lazily built H-rep, cached (cells are classified many times)
+
+	// warm is the cell's LP basis snapshot, exported by the split-time
+	// reduction chain (or inherited from the parent when the reduction had
+	// nothing to export). Classification solves re-enter it. Ownership
+	// rule: written exactly once, by the shard that created the cell,
+	// before the cell is published to the scheduler; immutable afterwards,
+	// so concurrent classification reads race-free. nil at the root and
+	// whenever Tree.WarmStart is off.
+	warm *lp.Basis
 }
 
 // Parent returns the parent node (nil at the root).
@@ -121,6 +131,14 @@ type Tree struct {
 	// (see FullPolytope for the export path).
 	Prune bool
 
+	// WarmStart enables warm-started LP solves (on by default): split-time
+	// reduction chains basis snapshots test to test and leaves each child a
+	// compact per-cell basis; classification re-enters it. Like Prune, the
+	// flag changes only how solves start, never what they answer — regions
+	// and all Stats except the LP pivot counters are byte-identical either
+	// way (see TestWarmStartByteIdentical).
+	WarmStart bool
+
 	Stats Stats
 
 	// own is the built-in sequential shard: it writes into Tree.Stats
@@ -147,6 +165,14 @@ type Stats struct {
 	// pruning on or off.
 	PruneLPTests int
 	PrunedRows   int
+
+	// LP aggregates the simplex-effort counters (pivots, warm hits/misses,
+	// cold solves) of every classification and reduction solve charged to
+	// this accumulator. Unlike every counter above, the pivot numbers are
+	// NOT part of the determinism contract across WarmStart settings — that
+	// is the point of the flag — but they merge order-free like the rest,
+	// so totals are deterministic for a fixed configuration at workers=1.
+	LP lp.Counters
 }
 
 // MergeTests adds o's classification counters (fast tests, fast hits, LP
@@ -158,6 +184,7 @@ func (s *Stats) MergeTests(o Stats) {
 	s.FastTests += o.FastTests
 	s.FastHits += o.FastHits
 	s.ContainmentTests += o.ContainmentTests
+	s.LP.Add(o.LP)
 }
 
 // Merge folds every counter of o into s: sums throughout, except MaxDepth
@@ -177,13 +204,14 @@ func (s *Stats) Merge(o Stats) {
 	}
 	s.PruneLPTests += o.PruneLPTests
 	s.PrunedRows += o.PrunedRows
+	s.LP.Add(o.LP)
 }
 
 // New creates a tree over the given box polytope (normally [0,1]^d or, for
 // IS-style problems, [p, 1]^d).
 func New(box *geom.Polytope) *Tree {
 	lo, hi, ok := box.MBB()
-	t := &Tree{Dim: box.Dim, Box: box, Prune: true}
+	t := &Tree{Dim: box.Dim, Box: box, Prune: true, WarmStart: true}
 	root := &Cell{ID: 0, MBBLo: lo, MBBHi: hi}
 	if !ok {
 		root.Status = Eliminated // empty search space
@@ -347,7 +375,13 @@ func (c *Cell) ClassifyInto(h geom.Halfspace, useFast bool, st *Stats) geom.Rela
 		}
 	}
 	st.ContainmentTests++
-	return c.Polytope().Classify(h)
+	if c.owner.WarmStart {
+		// Seed the slab solves from the cell's split-time basis (c.warm is
+		// immutable once the cell is published, so concurrent classification
+		// stays race-free; a nil seed still chains the two slab solves).
+		return c.Polytope().ClassifyWarm(h, c.warm, &st.LP)
+	}
+	return c.Polytope().ClassifyCounted(h, &st.LP)
 }
 
 // Prewarm materializes the cell's cached H-representation (and, through
@@ -452,7 +486,28 @@ func (sh *Shard) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 			in := append(sh.reduceIn[:0], base...)
 			in = append(in, hs)
 			sh.reduceIn = in[:0]
-			red, rst := geom.ReduceCell(tr.Dim, in, lo, hi)
+			var red []geom.Halfspace
+			var rst geom.ReduceStats
+			if tr.WarmStart {
+				// Warm-start the reduction chain from the parent's basis and
+				// keep the last test's basis as the child's snapshot. Row keys
+				// survive the hop because the child's system reuses the
+				// parent's coefficient vectors (axis rows share the cached
+				// unit normals, survivors alias the parent's rows). When the
+				// chain exports nothing (no LP ran, or the final basis rested
+				// on a transient row) the child shares the parent's snapshot —
+				// a Basis is immutable, so sharing is safe.
+				wb := &lp.Basis{}
+				var wok bool
+				red, rst, wok = geom.ReduceCellBasis(tr.Dim, in, lo, hi, c.warm, wb, &sh.st.LP)
+				if wok {
+					ch.warm = wb
+				} else {
+					ch.warm = c.warm
+				}
+			} else {
+				red, rst, _ = geom.ReduceCellBasis(tr.Dim, in, lo, hi, nil, nil, &sh.st.LP)
+			}
 			sh.st.PruneLPTests += rst.LPTests
 			sh.st.PrunedRows += rst.BoxDropped + rst.LPDropped
 			ch.poly = &geom.Polytope{Dim: tr.Dim, Hs: red}

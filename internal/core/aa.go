@@ -6,6 +6,7 @@ import (
 
 	"mir/internal/celltree"
 	"mir/internal/geom"
+	"mir/internal/lp"
 	"mir/internal/par"
 )
 
@@ -125,6 +126,7 @@ func (r *aaRun) workers() int { return par.Resolve(r.opts.Workers) }
 func (r *aaRun) seedRoot() {
 	r.seq = &aaWorker{r: r, sh: r.tr.OwnShard(), st: &r.st, fanout: r.workers()}
 	r.tr.Prune = !r.opts.DisablePruning
+	r.tr.WarmStart = !r.opts.DisableWarmStart
 	root := r.tr.Root
 	if root.Status != celltree.Active {
 		return
@@ -213,8 +215,11 @@ func (w *aaWorker) processCell(c *celltree.Cell, push func(*celltree.Cell, float
 	}
 	w.leavesBuf = r.tr.Leaves(c, w.leavesBuf[:0])
 	// Each active leaf needs an independently mutable copy of the list;
-	// newCG itself is unaliased after this loop, so the first taker can
-	// have the original.
+	// newCG itself is unaliased after the distribution, so the first taker
+	// can have the original. Distribution and publication are separate
+	// passes: push hands a leaf to the scheduler, after which a stealing
+	// worker may mutate that leaf's list in place (update/remove) — so no
+	// leaf may be published while newCG is still being cloned from.
 	taken := false
 	for _, leaf := range w.leavesBuf {
 		if leaf.Status != celltree.Active {
@@ -225,6 +230,11 @@ func (w *aaWorker) processCell(c *celltree.Cell, push func(*celltree.Cell, float
 		} else {
 			leaf.Payload = newCG
 			taken = true
+		}
+	}
+	for _, leaf := range w.leavesBuf {
+		if leaf.Status != celltree.Active {
+			continue
 		}
 		if !w.verify(leaf) {
 			push(leaf, r.priority(leaf))
@@ -692,6 +702,7 @@ func (w *aaWorker) classifyByHullParallel(c *celltree.Cell, v *view) (gc, ge, gi
 	// Stage 2: interior members against the now-fixed vertex hulls.
 	memRel := make([]geom.Relation, len(v.members))
 	hullTests := make([]int, workers)
+	hullLP := make([]lp.Counters, workers)
 	par.ForWorker(len(v.members), workers, func(g, pos int) {
 		if isHull[pos] {
 			return
@@ -704,9 +715,15 @@ func (w *aaWorker) classifyByHullParallel(c *celltree.Cell, v *view) (gc, ge, gi
 			}
 		}
 		switch {
-		case len(vcPts) > 0 && func() bool { hullTests[g]++; return geom.InConvexHull(inst.WProj[ui], vcPts) }():
+		case len(vcPts) > 0 && func() bool {
+			hullTests[g]++
+			return geom.InConvexHullCounted(inst.WProj[ui], vcPts, &hullLP[g])
+		}():
 			memRel[pos] = geom.Covers
-		case len(vePts) > 0 && func() bool { hullTests[g]++; return geom.InConvexHull(inst.WProj[ui], vePts) }():
+		case len(vePts) > 0 && func() bool {
+			hullTests[g]++
+			return geom.InConvexHullCounted(inst.WProj[ui], vePts, &hullLP[g])
+		}():
 			memRel[pos] = geom.Excludes
 		default:
 			memRel[pos] = geom.Cuts
@@ -715,8 +732,9 @@ func (w *aaWorker) classifyByHullParallel(c *celltree.Cell, v *view) (gc, ge, gi
 	for _, s := range stats {
 		w.sh.Stats().MergeTests(s)
 	}
-	for _, n := range hullTests {
+	for g, n := range hullTests {
 		w.st.HullTests += n
+		w.st.addLP(hullLP[g])
 	}
 	for pos := range v.members {
 		if isHull[pos] {
@@ -734,10 +752,15 @@ func (w *aaWorker) classifyByHullParallel(c *celltree.Cell, v *view) (gc, ge, gi
 	return gc, ge, gi
 }
 
-// inHull wraps the hull-membership LP, counting it for the ablation stats.
+// inHull wraps the hull-membership LP, counting it for the ablation stats
+// and charging its pivots to the worker's own Stats (race-free per worker;
+// merged order-free afterwards).
 func (w *aaWorker) inHull(q geom.Vector, pts []geom.Vector) bool {
 	w.st.HullTests++
-	return geom.InConvexHull(q, pts)
+	var d lp.Counters
+	in := geom.InConvexHullCounted(q, pts, &d)
+	w.st.addLP(d)
+	return in
 }
 
 // hullOfPositions returns the subset of positions whose weight vectors are

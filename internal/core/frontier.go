@@ -126,4 +126,8 @@ func (s *Stats) mergeWorker(o *Stats) {
 	s.HullTests += o.HullTests
 	s.GroupBatchHits += o.GroupBatchHits
 	s.Iterations += o.Iterations
+	s.Pivots += o.Pivots
+	s.WarmHits += o.WarmHits
+	s.WarmMisses += o.WarmMisses
+	s.ColdSolves += o.ColdSolves
 }

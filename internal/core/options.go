@@ -1,5 +1,7 @@
 package core
 
+import "mir/internal/lp"
+
 // GroupChoice selects which pending group AA inserts into a cell when the
 // batch tests leave it undecided (paper Figure 17a ablation).
 type GroupChoice int
@@ -51,6 +53,14 @@ type Options struct {
 	// the computed region is identical either way; the switch exists for
 	// benchmarking and for the equivalence property tests.
 	DisablePruning bool
+	// DisableWarmStart turns off warm-started LP solves
+	// (celltree.Tree.WarmStart): every feasibility and redundancy solve
+	// cold-starts as in the pre-incremental implementation. Warm starts
+	// change only where the simplex search begins, never what it answers,
+	// so regions, arrangements, and all Stats except the pivot counters
+	// are byte-identical either way; the switch keeps the cold path
+	// selectable for benchmarking and the differential property tests.
+	DisableWarmStart bool
 }
 
 // Stats aggregates the algorithm-level counters reported in the paper's
@@ -79,6 +89,19 @@ type Stats struct {
 	PrunedRows   int
 	// Iterations counts heap pops.
 	Iterations int
+	// Pivots, WarmHits, WarmMisses, and ColdSolves aggregate the simplex
+	// solvers' effort across every classification, redundancy, and hull
+	// LP of the run (lp.Counters, summed order-free per worker like
+	// PruneLPTests). Pivots is the primary cost metric of the warm-start
+	// optimization: it is deterministic at workers=1 for a fixed
+	// configuration, but — alone among the LP counters' peers — it is NOT
+	// invariant across DisableWarmStart settings (that difference is the
+	// optimization) and, in mIR frontier mode, it IS invariant across
+	// worker counts (each cell's solve chain is cell-local).
+	Pivots     int64
+	WarmHits   int64
+	WarmMisses int64
+	ColdSolves int64
 	// StealCount counts successful frontier steals and MaxFrontier is the
 	// high-water mark of in-flight cells. Unlike every counter above, the
 	// two are scheduling-sensitive at Workers > 1 (they vary run to run)
@@ -87,4 +110,12 @@ type Stats struct {
 	// deterministic high-water mark of the sequential heap.
 	StealCount  int
 	MaxFrontier int
+}
+
+// addLP folds a batch of solver-effort deltas into the Stats' LP counters.
+func (s *Stats) addLP(d lp.Counters) {
+	s.Pivots += d.Pivots
+	s.WarmHits += d.WarmHits
+	s.WarmMisses += d.WarmMisses
+	s.ColdSolves += d.ColdSolves
 }

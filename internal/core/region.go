@@ -64,6 +64,9 @@ func regionFromTree(tr *celltree.Tree, m int, st Stats) *Region {
 	st.Eliminated = tr.Stats.Eliminated
 	st.PruneLPTests = tr.Stats.PruneLPTests
 	st.PrunedRows = tr.Stats.PrunedRows
+	// +=, not =: the hull-membership LPs ran core-side and are already in
+	// st; the tree's counters add the classification and redundancy solves.
+	st.addLP(tr.Stats.LP)
 	reg := &Region{Dim: tr.Dim, M: m, Stats: st}
 	for _, leaf := range tr.ReportedLeaves() {
 		// FullPolytope, not Polytope: the exported H-representation is the

@@ -3,6 +3,8 @@ package geom
 import (
 	"sort"
 	"sync"
+
+	"mir/internal/lp"
 )
 
 // ExtremePoints returns the indices of the points of pts that are vertices
@@ -170,6 +172,13 @@ func extremeLP(pts []Vector) []int {
 // scratch's reusable workspace: this is AA's inner-group hot path and runs
 // allocation-free in steady state.
 func InConvexHull(q Vector, pts []Vector) bool {
+	return InConvexHullCounted(q, pts, nil)
+}
+
+// InConvexHullCounted is InConvexHull with LP effort accounting: the
+// underlying workspace's pivot and solve counters are accumulated into ctr
+// when it is non-nil. The solve path is identical.
+func InConvexHullCounted(q Vector, pts []Vector, ctr *lp.Counters) bool {
 	n := len(pts)
 	if n == 0 {
 		return false
@@ -177,6 +186,10 @@ func InConvexHull(q Vector, pts []Vector) bool {
 	dim := len(q)
 	s := feaserPool.Get().(*feaserScratch)
 	defer feaserPool.Put(s)
+	if ctr != nil {
+		w0 := s.w.Counters
+		defer func() { ctr.Add(s.w.Counters.Sub(w0)) }()
+	}
 	// 2*(dim+1) inequality rows encode the dim+1 equalities, in the same
 	// row order as the original implementation (pos/neg pairs per
 	// coordinate, then the two convexity rows).

@@ -168,9 +168,35 @@ func (p *Polytope) Minimize(obj Vector) (val float64, arg Vector, ok bool) {
 // simplex (lp.Feaser), which has only d rows and no phase 1 — this is the
 // hot path of the arrangement algorithms.
 func (p *Polytope) Classify(h Halfspace) Relation {
+	return p.classify(h, nil, nil, false)
+}
+
+// ClassifyCounted is Classify with LP effort accounting: the pivot and
+// solve counters of the underlying solvers are accumulated into ctr. The
+// solve path is exactly Classify's.
+func (p *Polytope) ClassifyCounted(h Halfspace, ctr *lp.Counters) Relation {
+	return p.classify(h, nil, ctr, false)
+}
+
+// ClassifyWarm is Classify with warm-started LPs: the below-slab solve
+// re-enters seed (a basis snapshot from a related system — typically the
+// cell's split-time reduction basis; nil is allowed), and the above-slab
+// solve chains from the below solve's exported basis. The relation
+// returned is identical to Classify's for any seed — warm starts change
+// pivot paths, never verdicts; the seed is only read.
+func (p *Polytope) ClassifyWarm(h Halfspace, seed *lp.Basis, ctr *lp.Counters) Relation {
+	return p.classify(h, seed, ctr, true)
+}
+
+func (p *Polytope) classify(h Halfspace, seed *lp.Basis, ctr *lp.Counters, warm bool) Relation {
 	f := feaserPool.Get().(*feaserScratch)
 	defer feaserPool.Put(f)
-	f.load(p)
+	f0, w0 := f.f.Counters, f.w.Counters
+	if warm {
+		f.loadKeyed(p)
+	} else {
+		f.load(p)
+	}
 	// below: p ∩ {W·x <= T - tol}, expressed as {-W·x >= -(T - tol)}.
 	f.neg = f.neg[:0]
 	for _, w := range h.W {
@@ -178,11 +204,31 @@ func (p *Polytope) Classify(h Halfspace) Relation {
 	}
 	f.ws = append(f.ws, f.neg)
 	f.ts = append(f.ts, -(h.T - ClassifyTol))
-	belowEmpty := !f.solve(p.Dim)
-	// above: p ∩ {W·x >= T + tol} (overwrite the extra row in place).
-	f.ws[len(f.ws)-1] = h.W
-	f.ts[len(f.ts)-1] = h.T + ClassifyTol
-	aboveEmpty := !f.solve(p.Dim)
+	var belowEmpty, aboveEmpty bool
+	if warm {
+		// The slab rows are transient (f.neg is reused scratch; h's vector
+		// appears with two different signs across the two solves), so they
+		// carry nil keys: they can never anchor a cross-call snapshot.
+		f.keys = append(f.keys, nil)
+		belowEmpty = !f.solveSeeded(p.Dim, seed)
+		chain := seed
+		if f.f.ExportBasis(&f.basis) {
+			chain = &f.basis
+		}
+		f.ws[len(f.ws)-1] = h.W
+		f.ts[len(f.ts)-1] = h.T + ClassifyTol
+		aboveEmpty = !f.solveSeeded(p.Dim, chain)
+	} else {
+		belowEmpty = !f.solve(p.Dim)
+		f.ws[len(f.ws)-1] = h.W
+		f.ts[len(f.ts)-1] = h.T + ClassifyTol
+		aboveEmpty = !f.solve(p.Dim)
+	}
+	if ctr != nil {
+		d := f.f.Counters.Sub(f0)
+		d.Add(f.w.Counters.Sub(w0))
+		ctr.Add(d)
+	}
 	switch {
 	case belowEmpty && !aboveEmpty:
 		return Covers
@@ -197,7 +243,12 @@ func (p *Polytope) Classify(h Halfspace) Relation {
 
 // MBB returns the minimum bounding box of the polytope as (lo, hi) corner
 // vectors. ok is false when the polytope is empty. The 2d directional
-// solves share one pooled workspace and constraint load.
+// solves share one pooled workspace and constraint load: the first solve
+// loads the program cold, the remaining 2d-1 re-enter its optimal basis
+// with a new objective (lp.ResolveObjective) — the basis of one support
+// direction is usually a pivot or two from the next. A pooled workspace
+// may hold a stale program, so the cold first solve is mandatory; the
+// re-entries fall back to a cold solve if refused.
 func (p *Polytope) MBB() (lo, hi Vector, ok bool) {
 	s := feaserPool.Get().(*feaserScratch)
 	defer feaserPool.Put(s)
@@ -208,16 +259,26 @@ func (p *Polytope) MBB() (lo, hi Vector, ok bool) {
 	for i := range obj {
 		obj[i] = 0
 	}
+	first := true
+	solveDir := func() lp.Result {
+		if !first {
+			if r, warm := s.w.ResolveObjective(obj); warm {
+				return r
+			}
+		}
+		first = false
+		return s.w.MaximizeFlat(obj, A, b)
+	}
 	for i := 0; i < p.Dim; i++ {
 		// min x_i = -max(-x_i).
 		obj[i] = -1
-		r := s.w.MaximizeFlat(obj, A, b)
+		r := solveDir()
 		if r.Status != lp.Optimal {
 			return nil, nil, false
 		}
 		lo[i] = -r.Obj
 		obj[i] = 1
-		r = s.w.MaximizeFlat(obj, A, b)
+		r = solveDir()
 		if r.Status != lp.Optimal {
 			return nil, nil, false
 		}

@@ -1,6 +1,10 @@
 package geom
 
-import "sync"
+import (
+	"sync"
+
+	"mir/internal/lp"
+)
 
 // This file implements split-time redundancy elimination for arrangement
 // cells. A cell's raw H-representation grows by one halfspace per ancestor
@@ -81,6 +85,26 @@ type ReduceStats struct {
 // The returned slice is freshly allocated; the axis rows share cached unit
 // normals and the surviving rows share hs's coefficient vectors.
 func ReduceCell(dim int, hs []Halfspace, lo, hi Vector) ([]Halfspace, ReduceStats) {
+	out, st, _ := ReduceCellBasis(dim, hs, lo, hi, nil, nil, nil)
+	return out, st
+}
+
+// ReduceCellBasis is ReduceCell with warm-started LPs and basis export.
+// seed (optional) is a basis snapshot from a related system — the parent
+// cell's — used to warm-start the first redundancy LP; each subsequent
+// test warm-starts from the previous one's exported basis, monotone with
+// the incremental reduction. When export is non-nil the last successful
+// test's basis is left in it and ok reports whether it holds a usable
+// snapshot (false when no LP ran or no basis was exportable) — the caller
+// then keeps the parent's snapshot instead. ctr, when non-nil, accumulates
+// the LP effort counters. The surviving rows are identical for every
+// (seed, export) combination: warm starts change pivot paths, never the
+// feasibility verdicts that decide a drop.
+//
+// With seed == nil and export == nil the solves run cold and unkeyed —
+// exactly the legacy pivot sequence — so the cold path stays selectable
+// (celltree gates it on Tree.WarmStart).
+func ReduceCellBasis(dim int, hs []Halfspace, lo, hi Vector, seed, export *lp.Basis, ctr *lp.Counters) ([]Halfspace, ReduceStats, bool) {
 	var st ReduceStats
 	pos, neg := unitVectors(dim)
 	out := make([]Halfspace, 0, 2*dim+len(hs))
@@ -111,20 +135,28 @@ func ReduceCell(dim int, hs []Halfspace, lo, hi Vector) ([]Halfspace, ReduceStat
 	// against the current survivor set (rows already dropped excluded) in
 	// ascending order is deterministic and never drops two rows that only
 	// imply each other jointly.
+	warm := export != nil
+	chain := seed
+	exported := false
 	if len(out) > nBox+1 {
 		s := feaserPool.Get().(*feaserScratch)
+		f0, w0 := s.f.Counters, s.w.Counters
 		for i := nBox; i < len(out); {
 			h := out[i]
 			// Load every row except i, then ask for a point at or below the
 			// suspect's boundary (W·x <= T + margin, i.e. -W·x >= -(T+margin)).
 			s.ws = s.ws[:0]
 			s.ts = s.ts[:0]
+			s.keys = s.keys[:0]
 			for k, o := range out {
 				if k == i {
 					continue
 				}
 				s.ws = append(s.ws, o.W)
 				s.ts = append(s.ts, o.T)
+				if warm {
+					s.keys = append(s.keys, lp.KeyOf(o.W))
+				}
 			}
 			nneg := growFloat(&s.neg, dim)
 			for j, w := range h.W {
@@ -133,7 +165,19 @@ func ReduceCell(dim int, hs []Halfspace, lo, hi Vector) ([]Halfspace, ReduceStat
 			s.ws = append(s.ws, nneg)
 			s.ts = append(s.ts, -(h.T + reduceLPTol))
 			st.LPTests++
-			if !s.solve(dim) {
+			var reachable bool
+			if warm {
+				// The negated suspect is transient scratch: nil key.
+				s.keys = append(s.keys, nil)
+				reachable = s.solveSeeded(dim, chain)
+				if s.f.ExportBasis(export) {
+					chain = export
+					exported = true
+				}
+			} else {
+				reachable = s.solve(dim)
+			}
+			if !reachable {
 				// No point of the other rows reaches the suspect's boundary:
 				// the row is strictly implied — drop it (order-preserving).
 				out = append(out[:i], out[i+1:]...)
@@ -142,7 +186,12 @@ func ReduceCell(dim int, hs []Halfspace, lo, hi Vector) ([]Halfspace, ReduceStat
 			}
 			i++
 		}
+		if ctr != nil {
+			d := s.f.Counters.Sub(f0)
+			d.Add(s.w.Counters.Sub(w0))
+			ctr.Add(d)
+		}
 		feaserPool.Put(s)
 	}
-	return out, st
+	return out, st, exported
 }

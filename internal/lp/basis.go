@@ -1,0 +1,131 @@
+package lp
+
+// This file implements warm-started (incremental) solves.
+//
+// # Why warm starts fit the arrangement workloads
+//
+// Arrangement construction solves long chains of nearly identical programs:
+// a child cell's constraint system is its parent's rows plus one appended
+// `>=` row (minus the rows split-time reduction discarded), and the two
+// slab tests of one classification differ only in their last row. The
+// Feaser runs the primal simplex on the dual of these systems, where
+// constraint rows become columns — so "parent rows + one appended >= row"
+// becomes "parent columns + one appended column", and the parent's optimal
+// basis remains a valid (all-zero RHS, hence feasible) starting basis for
+// the child. Re-entering it is the dual-simplex reinstatement of the
+// appended-row case: no phase 1, and when the parent's basis is still
+// optimal for the child the solve finishes after a single reduced-cost
+// scan with zero pivots.
+//
+// # The snapshot
+//
+// A Basis captures everything needed to re-enter: which column is basic in
+// each tableau row, and the basis inverse B⁻¹ (the "factorized" tableau
+// state — the full tableau is B⁻¹·A, reconstructible column by column).
+// Columns are identified by caller-supplied keys: the address of the
+// constraint's coefficient vector. The geometry layer shares coefficient
+// backing arrays down the cell tree (axis rows use globally cached unit
+// normals, surviving rows alias the parent's vectors), so a key matches
+// exactly when the child system contains the very same constraint row —
+// thresholds may differ (they never enter B), coefficients may not.
+// Transient rows whose buffers are reused with different contents must be
+// keyed nil; nil never matches and blocks export, so a stale pointer can
+// never smuggle a wrong B⁻¹ into a later solve.
+//
+// A Basis is immutable once published (the cell tree shares parent
+// snapshots with children); re-entry only reads it.
+
+// Counters aggregates a solver's work across solves. Pivots is the
+// universal effort metric (one Gauss-Jordan elimination of the tableau);
+// WarmHits / WarmMisses split the warm-start attempts into basis
+// reinstatements and fallbacks to a cold load, and ColdSolves counts loads
+// that started from the slack basis (misses included). The counters are
+// plain fields on each solver — solvers are single-goroutine objects, and
+// callers fold deltas into their own per-worker accumulators, which merge
+// by summation (order-free) after a parallel phase.
+type Counters struct {
+	Pivots     int64
+	WarmHits   int64
+	WarmMisses int64
+	ColdSolves int64
+}
+
+// Add folds o into c (summation; commutative and associative, so
+// per-worker counters merge deterministically in any order).
+func (c *Counters) Add(o Counters) {
+	c.Pivots += o.Pivots
+	c.WarmHits += o.WarmHits
+	c.WarmMisses += o.WarmMisses
+	c.ColdSolves += o.ColdSolves
+}
+
+// Sub returns c - o; used to take before/after deltas around a solve.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Pivots:     c.Pivots - o.Pivots,
+		WarmHits:   c.WarmHits - o.WarmHits,
+		WarmMisses: c.WarmMisses - o.WarmMisses,
+		ColdSolves: c.ColdSolves - o.ColdSolves,
+	}
+}
+
+// Key identifies a constraint row across solves: the address of its
+// coefficient vector's first element. Keys compare by pointer identity —
+// the coefficient storage conventions of the caller (immutable, shared
+// down the cell tree) make identity equivalent to "the same constraint".
+// A nil Key marks a transient row that can never match.
+type Key = *float64
+
+// KeyOf returns the identity key of a coefficient vector, or nil for an
+// empty one.
+func KeyOf(w []float64) Key {
+	if len(w) == 0 {
+		return nil
+	}
+	return &w[0]
+}
+
+// basisEntry records what is basic in one tableau row: a constraint column
+// (Key non-nil) or a slack (Key nil, Slack = the slack's row index).
+type basisEntry struct {
+	key   Key
+	slack int32
+}
+
+// Basis is a compact snapshot of a Feaser simplex basis: the basic-variable
+// set (one entry per tableau row) plus the basis inverse. It is exported
+// after a solve with ExportBasis and re-entered with FeasibleGEKeyed.
+// Snapshots are immutable once published and may be shared freely across
+// goroutines; the cell tree stores one per cell and hands it to every
+// child.
+type Basis struct {
+	// Dim is the tableau's row count (the primal dimensionality n).
+	Dim int
+	// binv is the Dim x Dim basis inverse, row-major.
+	binv []float64
+	// ent[i] identifies the column basic in tableau row i.
+	ent []basisEntry
+}
+
+// Valid reports whether b holds a snapshot for an n-row tableau.
+func (b *Basis) Valid(n int) bool {
+	return b != nil && b.Dim == n && len(b.ent) == n && len(b.binv) == n*n
+}
+
+// copyFrom makes dst an independent copy of src (no-op when identical).
+func (b *Basis) copyFrom(src *Basis) {
+	if b == src {
+		return
+	}
+	b.Dim = src.Dim
+	if cap(b.binv) < len(src.binv) {
+		b.binv = make([]float64, len(src.binv))
+	}
+	b.binv = b.binv[:len(src.binv)]
+	copy(b.binv, src.binv)
+	if cap(b.ent) < len(src.ent) {
+		b.ent = make([]basisEntry, len(src.ent))
+	}
+	b.ent = b.ent[:len(src.ent)]
+	copy(b.ent, src.ent)
+}

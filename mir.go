@@ -82,6 +82,12 @@ type Options struct {
 	// redundancy elimination of cell H-representations. The computed region
 	// is identical either way; the switch exists for benchmarking.
 	DisableRedundancyPruning bool
+	// DisableWarmStart turns off warm-started LP solving: every feasibility
+	// and redundancy solve cold-starts instead of re-entering the parent
+	// cell's simplex basis. Warm starts change only where the simplex search
+	// begins, never what it answers — regions and all stats except the pivot
+	// counters are identical either way; the switch exists for benchmarking.
+	DisableWarmStart bool
 }
 
 // Strategy selects AA's group-insertion order.
@@ -108,6 +114,7 @@ func (o *Options) toCore() core.Options {
 		Disable2D:         o.Disable2DSpecialization,
 		DisableGrouping:   o.DisableGrouping,
 		DisablePruning:    o.DisableRedundancyPruning,
+		DisableWarmStart:  o.DisableWarmStart,
 	}
 }
 

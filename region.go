@@ -102,6 +102,16 @@ type Stats struct {
 	EarlyReported    int
 	EarlyEliminated  int
 	Iterations       int
+	// Pivots, WarmHits, WarmMisses, and ColdSolves aggregate the simplex
+	// solvers' effort across the run's classification, redundancy, and
+	// convex-hull LPs. Pivots is the cost metric of the warm-start
+	// optimization: it drops when solves re-enter parent-cell bases
+	// (Options.DisableWarmStart selects the cold path) while every other
+	// counter — and the region itself — stays identical.
+	Pivots     int64
+	WarmHits   int64
+	WarmMisses int64
+	ColdSolves int64
 	// StealCount and MaxFrontier profile the task-parallel frontier
 	// scheduler (zero for sequential runs). Unlike the counters above they
 	// are scheduling-sensitive: they vary run to run at Workers > 1.
@@ -122,6 +132,10 @@ func (r *Region) Stats() Stats {
 		EarlyReported:    s.EarlyReported,
 		EarlyEliminated:  s.EarlyEliminated,
 		Iterations:       s.Iterations,
+		Pivots:           s.Pivots,
+		WarmHits:         s.WarmHits,
+		WarmMisses:       s.WarmMisses,
+		ColdSolves:       s.ColdSolves,
 		StealCount:       s.StealCount,
 		MaxFrontier:      s.MaxFrontier,
 	}
