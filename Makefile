@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-hammer bench-smoke bench bench-json bench-check ci
+.PHONY: all vet build test race race-hammer bench-smoke bench bench-json bench-topk bench-check ci
 
 all: ci
 
@@ -42,13 +42,24 @@ bench:
 bench-json:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.json
 
-# Regenerate the matrix to a scratch path and gate it against the
-# committed BENCH_AA.json: fails if any workers=1 row allocates more than
-# 10% over the reference, or runs more than 10% more simplex pivots/op
+# Machine-readable preprocessing benchmark matrix for the indexed
+# all-top-k engine (index build time, indexed vs full-skyband wall time,
+# and the scanned-products / layer-prune counters per dataset,
+# dimensionality, and user cardinality up to 10^6). The committed copy is
+# the reference point for scan-volume regressions.
+bench-topk:
+	$(GO) run ./cmd/mirbench -json-topk BENCH_TOPK.json
+
+# Regenerate both matrices to scratch paths and gate them against the
+# committed references: fails if any workers=1 AA row allocates more than
+# 10% over BENCH_AA.json or runs more than 10% more simplex pivots/op
 # (both counters are deterministic at one worker, so those margins are
-# pure headroom; the pivot gate catches warm starts silently going cold).
-# Wall times never gate.
+# pure headroom; the pivot gate catches warm starts silently going cold),
+# or if any indexed all-top-k cell scans more than 10% more products/user
+# than BENCH_TOPK.json, or if the aggregate scan reduction over the
+# full-skyband path drops below 5x. Wall times never gate.
 bench-check:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.ci.json -baseline BENCH_AA.json
+	$(GO) run ./cmd/mirbench -json-topk BENCH_TOPK.ci.json -baseline-topk BENCH_TOPK.json
 
 ci: vet build race race-hammer bench-smoke

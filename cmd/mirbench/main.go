@@ -50,6 +50,8 @@ func main() {
 	workers := flag.Int("workers", 0, "cap on CPU cores used (0 = all); 1 reproduces the sequential engine")
 	jsonPath := flag.String("json", "", "run the AA benchmark matrix and write a machine-readable report to this path")
 	baseline := flag.String("baseline", "", "with -json: committed BENCH_AA.json to gate against (fails if workers=1 allocs/op regress >10%)")
+	jsonTopkPath := flag.String("json-topk", "", "run the indexed all-top-k preprocessing matrix and write a machine-readable report to this path")
+	baselineTopk := flag.String("baseline-topk", "", "with -json-topk: committed BENCH_TOPK.json to gate against (fails if scanned-products/user regress >10%)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this path")
 	flag.Parse()
@@ -89,14 +91,25 @@ func main() {
 		printList(cfg)
 		return
 	}
-	if *jsonPath != "" {
-		if err := runJSONBench(cfg, *jsonPath, *baseline); err != nil {
-			fatal(err)
+	if *jsonPath != "" || *jsonTopkPath != "" {
+		if *jsonPath != "" {
+			if err := runJSONBench(cfg, *jsonPath, *baseline); err != nil {
+				fatal(err)
+			}
+		}
+		if *jsonTopkPath != "" {
+			if err := runTopkBench(cfg, *jsonTopkPath, *baselineTopk); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}
 	if *baseline != "" {
 		fmt.Fprintln(os.Stderr, "mirbench: -baseline requires -json")
+		os.Exit(2)
+	}
+	if *baselineTopk != "" {
+		fmt.Fprintln(os.Stderr, "mirbench: -baseline-topk requires -json-topk")
 		os.Exit(2)
 	}
 	if *fig == "" {

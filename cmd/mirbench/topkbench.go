@@ -1,0 +1,257 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"mir/internal/topk"
+)
+
+// The -json-topk mode freezes the preprocessing benchmark into a
+// machine-readable artifact: per product distribution (IND/COR/ANTI),
+// dimensionality, and user cardinality, the layered index's build time,
+// the indexed all-top-k wall time, and the scanned-products and
+// layer-prune counters, next to the full-skyband scan they replace.
+// CI regenerates the file on every run; the committed BENCH_TOPK.json is
+// the reference the -baseline-topk gate compares against.
+//
+// The matrix follows the acceptance grid of the indexed-engine issue:
+// |P|=20,000 products, k=10 for every user, IND/COR/ANTI at d=3..5 with
+// |U|=20,000, plus a users axis |U| ∈ {10^4, 10^5, 10^6} at d=3 — the
+// million-user preprocessing target. The indexed rows run at one worker:
+// the search counters are deterministic for every worker count (see
+// TestIndexAllTopKWorkersByteIdentical), so the single-worker rows are
+// the reproducible reference, and wall times stay comparable across
+// rows. The naive reference scans the kmax-skyband for every user, so
+// its scanned-products/user is exactly |Skyband(k)| — no run needed for
+// the reduction ratio — and its wall time is measured only where |U|
+// keeps it affordable.
+const (
+	topkBenchP    = 20_000
+	topkBenchK    = 10
+	topkBenchRuns = 3
+	// topkNaiveUserCap bounds the rows whose naive wall time is measured;
+	// above it (the 10^6-user row) only the indexed engine runs and the
+	// naive cost is reported through SkybandSize alone.
+	topkNaiveUserCap = 200_000
+)
+
+// minTopkScanRatio is the aggregate reduction the indexed engine must
+// deliver over the full-skyband scan: total products a skyband scan
+// would score across the whole matrix, divided by the products the
+// index actually scored. The counters behind it are deterministic, so
+// the gate is exact — no tolerance.
+const minTopkScanRatio = 5.0
+
+// topkScanRegressionTolerance is the allowed growth of a cell's
+// scanned-products/user over the committed baseline. Like the allocs/op
+// and pivots/op gates, the counter is exactly reproducible for a fixed
+// seed, so a >10% jump means the index's bounds got looser (a layer
+// ordering change, a bound granularity regression), not noise.
+const topkScanRegressionTolerance = 1.10
+
+// topkBenchResult is one (dataset, dim, users) cell of the matrix.
+type topkBenchResult struct {
+	Dataset  string `json:"dataset"`
+	Products int    `json:"products"`
+	Users    int    `json:"users"`
+	Dim      int    `json:"dim"`
+	K        int    `json:"k"`
+	Workers  int    `json:"workers"`
+	Runs     int    `json:"runs"`
+
+	// Layers and LayerSizes describe the built index: dominance-peel
+	// bands, outermost first.
+	Layers     int   `json:"layers"`
+	LayerSizes []int `json:"layer_sizes"`
+
+	// BuildSeconds is the one-off index construction cost; WallSeconds is
+	// the fastest of Runs indexed all-top-k executions. NaiveWallSeconds
+	// is a single full-skyband scan over the same users, 0 when skipped
+	// (rows above topkNaiveUserCap).
+	BuildSeconds     float64 `json:"build_seconds"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	NaiveWallSeconds float64 `json:"naive_wall_seconds,omitempty"`
+
+	// ScannedProducts and LayerPrunes are the search counters summed over
+	// all users (deterministic for every worker count); the PerUser pair
+	// divides by |U|. SkybandSize is what the naive path scores per user,
+	// and Ratio = SkybandSize / ScannedPerUser is the reduction the
+	// acceptance gate aggregates.
+	ScannedProducts    int64   `json:"scanned_products"`
+	LayerPrunes        int64   `json:"layer_prunes"`
+	ScannedPerUser     float64 `json:"scanned_per_user"`
+	LayerPrunesPerUser float64 `json:"layer_prunes_per_user"`
+	SkybandSize        int     `json:"skyband_size"`
+	Ratio              float64 `json:"ratio"`
+}
+
+// topkBenchReport is the top-level BENCH_TOPK.json document.
+type topkBenchReport struct {
+	Command        string            `json:"command"`
+	GoVersion      string            `json:"go_version"`
+	GOOS           string            `json:"goos"`
+	GOARCH         string            `json:"goarch"`
+	NumCPU         int               `json:"num_cpu"`
+	Seed           int64             `json:"seed"`
+	AggregateRatio float64           `json:"aggregate_ratio"`
+	Results        []topkBenchResult `json:"results"`
+}
+
+// topkBenchCells is the measured grid: the d-sweep at |U|=20,000 for
+// every distribution, then the users axis at d=3 on IND up to 10^6.
+var topkBenchCells = []struct {
+	dataset string
+	dim     int
+	users   int
+}{
+	{"IND", 3, 20_000}, {"IND", 4, 20_000}, {"IND", 5, 20_000},
+	{"COR", 3, 20_000}, {"COR", 4, 20_000}, {"COR", 5, 20_000},
+	{"ANTI", 3, 20_000}, {"ANTI", 4, 20_000}, {"ANTI", 5, 20_000},
+	{"IND", 3, 10_000}, {"IND", 3, 100_000}, {"IND", 3, 1_000_000},
+}
+
+// runTopkBench measures the preprocessing matrix, writes the report to
+// path, and enforces the aggregate scan-reduction gate. When
+// baselinePath is non-empty the per-cell counters are additionally
+// gated against the committed reference (see checkTopkBaseline).
+func runTopkBench(cfg config, path, baselinePath string) error {
+	report := topkBenchReport{
+		Command:   "mirbench -json-topk",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      cfg.seed,
+	}
+	var naiveTotal, indexedTotal float64
+	for off, cell := range topkBenchCells {
+		rng := cfg.rng(int64(3000 + off))
+		ps := cfg.products(cell.dataset, topkBenchP, cell.dim, rng)
+		us := withK(cfg.users("CL", cell.users, cell.dim, rng), topkBenchK)
+
+		res := topkBenchResult{
+			Dataset:  cell.dataset,
+			Products: topkBenchP,
+			Users:    cell.users,
+			Dim:      cell.dim,
+			K:        topkBenchK,
+			Workers:  1,
+			Runs:     topkBenchRuns,
+		}
+
+		var ix *topk.Index
+		res.BuildSeconds = timeIt(func() { ix = topk.NewIndex(ps) })
+		res.Layers = ix.NumLayers()
+		res.LayerSizes = ix.LayerSizes()
+
+		// Warm-up run supplies the counters (identical across runs and
+		// worker counts); the measured runs take the minimum wall time.
+		indexed, st := ix.AllTopKWorkers(us, 1)
+		res.ScannedProducts = st.ScannedProducts
+		res.LayerPrunes = st.LayerPrunes
+		res.ScannedPerUser = float64(st.ScannedProducts) / float64(cell.users)
+		res.LayerPrunesPerUser = float64(st.LayerPrunes) / float64(cell.users)
+		best := -1.0
+		for r := 0; r < topkBenchRuns; r++ {
+			wall := timeIt(func() { indexed, _ = ix.AllTopKWorkers(us, 1) })
+			if best < 0 || wall < best {
+				best = wall
+			}
+		}
+		res.WallSeconds = best
+
+		res.SkybandSize = len(topk.Skyband(ps, topkBenchK))
+		if cell.users <= topkNaiveUserCap {
+			var naive []topk.KthResult
+			res.NaiveWallSeconds = timeIt(func() { naive = topk.AllTopKWorkers(ps, us, 1) })
+			for i := range naive {
+				if naive[i] != indexed[i] {
+					return fmt.Errorf("%s d=%d |U|=%d user %d: indexed %+v vs naive %+v",
+						cell.dataset, cell.dim, cell.users, i, indexed[i], naive[i])
+				}
+			}
+		}
+		res.Ratio = float64(res.SkybandSize) / res.ScannedPerUser
+		naiveTotal += float64(res.SkybandSize) * float64(cell.users)
+		indexedTotal += float64(res.ScannedProducts)
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-5s d=%d |U|=%-8d build %6.3fs  indexed %7.3fs  naive %7.3fs  %8.1f scanned/user  skyband %5d  %5.1fx\n",
+			cell.dataset, cell.dim, cell.users, res.BuildSeconds, res.WallSeconds,
+			res.NaiveWallSeconds, res.ScannedPerUser, res.SkybandSize, res.Ratio)
+	}
+	report.AggregateRatio = naiveTotal / indexedTotal
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (aggregate reduction %.1fx)\n", path, report.AggregateRatio)
+
+	if report.AggregateRatio < minTopkScanRatio {
+		return fmt.Errorf("indexed engine scanned too much: aggregate reduction %.2fx < required %.1fx",
+			report.AggregateRatio, minTopkScanRatio)
+	}
+	if baselinePath != "" {
+		return checkTopkBaseline(report, baselinePath)
+	}
+	return nil
+}
+
+// checkTopkBaseline compares the fresh report's scanned-products/user
+// against the committed BENCH_TOPK.json, cell by cell. Every gated
+// counter is deterministic at a fixed seed, so — like the allocs/op and
+// pivots/op gates — a miss is a real regression, not noise. Wall and
+// build times never gate.
+func checkTopkBaseline(fresh topkBenchReport, baselinePath string) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("topk baseline: %w", err)
+	}
+	var base topkBenchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("topk baseline %s: %w", baselinePath, err)
+	}
+	type key struct {
+		dataset    string
+		dim, users int
+	}
+	ref := make(map[key]float64)
+	for _, r := range base.Results {
+		ref[key{r.Dataset, r.Dim, r.Users}] = r.ScannedPerUser
+	}
+	if len(ref) == 0 {
+		return fmt.Errorf("topk baseline %s: no cells to compare against", baselinePath)
+	}
+	var failures []string
+	for _, r := range fresh.Results {
+		want, ok := ref[key{r.Dataset, r.Dim, r.Users}]
+		if !ok {
+			fmt.Printf("topk baseline: no reference for %s d=%d |U|=%d; skipping\n",
+				r.Dataset, r.Dim, r.Users)
+			continue
+		}
+		limit := want * topkScanRegressionTolerance
+		status := "ok"
+		if r.ScannedPerUser > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s d=%d |U|=%d: %.1f scanned/user vs baseline %.1f (limit %.1f)",
+				r.Dataset, r.Dim, r.Users, r.ScannedPerUser, want, limit))
+		}
+		fmt.Printf("topk baseline %-4s %-5s d=%d |U|=%-8d  %8.1f scanned/user vs %8.1f\n",
+			status, r.Dataset, r.Dim, r.Users, r.ScannedPerUser, want)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("scanned-products counters regressed beyond tolerance:\n  %s",
+			joinLines(failures))
+	}
+	fmt.Println("topk baseline check passed")
+	return nil
+}

@@ -37,7 +37,7 @@ func NewMonitor(products [][]float64, users []User, m int) (*Monitor, error) {
 func NewMonitorOptions(products [][]float64, users []User, m int, opts *Options) (*Monitor, error) {
 	ps, us := convert(products, users)
 	co := opts.toCore()
-	inst, err := core.NewInstanceWorkers(ps, us, co.Workers)
+	inst, err := core.NewInstanceOpts(ps, us, co)
 	if err != nil {
 		return nil, fmt.Errorf("mir: %w", err)
 	}

@@ -40,6 +40,15 @@ func runAA(inst *Instance, m int, opts Options) (*aaRun, error) {
 		opts: opts,
 		tr:   celltree.New(geom.NewBox(inst.Dim, 0, 1)),
 	}
+	// Charge the instance's all-top-k preprocessing effort to the run's
+	// stats so the counters travel with every Region; incremental
+	// maintenance adds its per-arrival search effort on top.
+	run.st.ScannedProducts = inst.Prep.ScannedProducts
+	run.st.LayerPrunes = inst.Prep.LayerPrunes
+	if inst.TopKIndex != nil {
+		run.st.IndexPatches = inst.TopKIndex.Patches()
+		run.st.IndexRebuilds = inst.TopKIndex.Rebuilds()
+	}
 	run.seedRoot()
 	run.drain()
 	return run, nil

@@ -53,6 +53,16 @@ type Instance struct {
 	// Groups partitions users by their top-k-th product.
 	Groups []*Group
 
+	// TopKIndex is the shared layered all-top-k product index: the
+	// preprocessing answers every user's threshold from it, and the
+	// dynamic path (Maintainer.AddUser) reuses it for arriving users
+	// instead of scanning the full product set. Immutable under queries;
+	// nil when Options.DisableTopKIndex selected the scan paths.
+	TopKIndex *topk.Index
+	// Prep records the preprocessing search effort of the indexed
+	// all-top-k (zero when the index is disabled).
+	Prep topk.SearchStats
+
 	// wFlat is the row-major |U|×d backing of the halfspace normals.
 	wFlat []float64
 }
@@ -66,16 +76,27 @@ func NewInstance(products []geom.Vector, users []topk.UserPref) (*Instance, erro
 }
 
 // NewInstanceWorkers is NewInstance with an explicit worker count
-// (0 = all cores, 1 = strictly sequential). Three preprocessing stages
-// parallelize: the per-user all-top-k selection, the per-user halfspace
-// and weight-projection construction, and the per-group convex-hull
-// precomputation in projected weight space (the hulls that power AA's
-// Lemma 3/4 batch tests). Every stage writes to index-addressed slots, so
-// the resulting Instance is identical for every worker count.
+// (0 = all cores, 1 = strictly sequential); see NewInstanceOpts.
+func NewInstanceWorkers(products []geom.Vector, users []topk.UserPref, workers int) (*Instance, error) {
+	return NewInstanceOpts(products, users, Options{Workers: workers})
+}
+
+// NewInstanceOpts is NewInstance with full algorithm options. Three
+// preprocessing stages parallelize under opts.Workers: the per-user
+// all-top-k selection, the per-user halfspace and weight-projection
+// construction, and the per-group convex-hull precomputation in
+// projected weight space (the hulls that power AA's Lemma 3/4 batch
+// tests). Every stage writes to index-addressed slots, so the resulting
+// Instance is identical for every worker count.
+//
+// The all-top-k step runs through the layered product index by default
+// (Kth results are byte-identical to the skyband-scan fallback that
+// opts.DisableTopKIndex selects); the built index stays on the Instance
+// for the dynamic path to reuse.
 //
 // After construction the Instance is read-only for query execution: AA
 // runs (and therefore concurrent Analyzer queries) only read it.
-func NewInstanceWorkers(products []geom.Vector, users []topk.UserPref, workers int) (*Instance, error) {
+func NewInstanceOpts(products []geom.Vector, users []topk.UserPref, opts Options) (*Instance, error) {
 	if len(products) == 0 {
 		return nil, ErrNoProducts
 	}
@@ -100,12 +121,18 @@ func NewInstanceWorkers(products []geom.Vector, users []topk.UserPref, workers i
 		}
 	}
 
+	workers := opts.Workers
 	inst := &Instance{
 		Products: products,
 		Users:    users,
 		Dim:      d,
 	}
-	inst.Kth = topk.AllTopKWorkers(products, users, workers)
+	if opts.DisableTopKIndex {
+		inst.Kth = topk.AllTopKWorkers(products, users, workers)
+	} else {
+		inst.TopKIndex = topk.NewIndex(products)
+		inst.Kth, inst.Prep = inst.TopKIndex.AllTopKWorkers(users, workers)
+	}
 	inst.HS = make([]geom.Halfspace, len(users))
 	inst.WProj = make([]geom.Vector, len(users))
 	inst.wFlat = make([]float64, len(users)*d)

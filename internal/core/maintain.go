@@ -34,6 +34,12 @@ type Maintainer struct {
 	alive  []bool
 	nAlive int
 
+	// search answers arriving users' top-k thresholds from the instance's
+	// shared layered index (nil when the index is disabled, selecting the
+	// historical full product scan). The Maintainer is single-threaded, so
+	// one searcher suffices.
+	search *topk.Searcher
+
 	run *aaRun
 }
 
@@ -57,6 +63,9 @@ func NewMaintainer(inst *Instance, m int, opts Options) (*Maintainer, error) {
 		alive:    make([]bool, len(inst.Users)),
 		nAlive:   len(inst.Users),
 		run:      run,
+	}
+	if inst.TopKIndex != nil {
+		mt.search = topk.NewSearcher(inst.TopKIndex)
 	}
 	for i := range mt.alive {
 		mt.alive[i] = true
@@ -116,7 +125,20 @@ func (mt *Maintainer) AddUser(u topk.UserPref) (int, error) {
 			ErrBadK, u.K, len(mt.products))
 	}
 	inst := mt.run.inst
-	kth := topk.KthScore(mt.products, u.W, u.K)
+	// Answer the arriving user's top-k-th threshold from the layered
+	// index: the bounded-heap layer scan touches a handful of product
+	// blocks where the historical path scored the entire product set.
+	// Both selections are exact under the same (score desc, index asc)
+	// ranking, so the result is byte-identical either way.
+	var kth topk.KthResult
+	if mt.search != nil {
+		mt.search.Stats = topk.SearchStats{}
+		kth = mt.search.Kth(u.W, u.K)
+		mt.run.st.ScannedProducts += mt.search.Stats.ScannedProducts
+		mt.run.st.LayerPrunes += mt.search.Stats.LayerPrunes
+	} else {
+		kth = topk.KthScore(mt.products, u.W, u.K)
+	}
 	idx := len(mt.users)
 
 	mt.users = append(mt.users, u)

@@ -61,6 +61,14 @@ type Options struct {
 	// are byte-identical either way; the switch keeps the cold path
 	// selectable for benchmarking and the differential property tests.
 	DisableWarmStart bool
+	// DisableTopKIndex turns off the layered all-top-k product index
+	// (topk.Index): preprocessing falls back to the skyband-pruned full
+	// scan and the dynamic path's UserArrived recomputes thresholds by
+	// scanning every product. The index changes only which products get
+	// scored, never the selection — Kth results (index + score) are
+	// byte-identical either way — so the switch exists for benchmarking
+	// and the differential property tests.
+	DisableTopKIndex bool
 }
 
 // Stats aggregates the algorithm-level counters reported in the paper's
@@ -102,6 +110,19 @@ type Stats struct {
 	WarmHits   int64
 	WarmMisses int64
 	ColdSolves int64
+	// ScannedProducts and LayerPrunes profile the layered all-top-k
+	// index: product rows actually scored and index blocks (the layers'
+	// bound granules) skipped whole by the threshold bound, summed over
+	// the instance's preprocessing and every
+	// UserArrived answered from the index (zero when the index is
+	// disabled). IndexPatches and IndexRebuilds mirror the index's
+	// product-dynamics lifecycle counters. All four are deterministic
+	// across worker counts (per-user work is partition-independent and
+	// merges by summation).
+	ScannedProducts int64
+	LayerPrunes     int64
+	IndexPatches    int64
+	IndexRebuilds   int64
 	// StealCount counts successful frontier steals and MaxFrontier is the
 	// high-water mark of in-flight cells. Unlike every counter above, the
 	// two are scheduling-sensitive at Workers > 1 (they vary run to run)

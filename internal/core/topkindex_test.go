@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mir/internal/data"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// TestInstanceKthIndexOnOffByteIdentical pins the engine-level contract
+// of the layered index: Instance.Kth (identity and score bits) is the
+// same with the index enabled or disabled, for workers 1, 2, 4, and 8.
+func TestInstanceKthIndexOnOffByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, d := range []int{2, 3, 4} {
+		ps := data.Independent(rng, 800, d)
+		us := data.WithK(data.ClusteredUsers(rng, 90, d, 3, 0.08), 1)
+		for i := range us {
+			us[i].K = 1 + (i*7)%19
+		}
+		ref, err := NewInstanceOpts(ps, us, Options{Workers: 1, DisableTopKIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, disable := range []bool{false, true} {
+				inst, err := NewInstanceOpts(ps, us, Options{Workers: workers, DisableTopKIndex: disable})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for ui := range us {
+					g, w := inst.Kth[ui], ref.Kth[ui]
+					if g.Index != w.Index || math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+						t.Fatalf("d=%d workers=%d index-off=%v user %d: %+v vs reference %+v",
+							d, workers, disable, ui, g, w)
+					}
+				}
+				if disable && inst.TopKIndex != nil {
+					t.Fatal("DisableTopKIndex left an index attached")
+				}
+				if !disable && inst.TopKIndex == nil {
+					t.Fatal("index enabled but not attached")
+				}
+			}
+		}
+	}
+}
+
+// TestInstancePrepStatsDeterministic pins that the preprocessing search
+// counters are the same for every worker count (order-free merges).
+func TestInstancePrepStatsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	ps := data.Independent(rng, 1500, 3)
+	us := data.WithK(data.UniformUsers(rng, 120, 3), 8)
+	var want topk.SearchStats
+	for i, workers := range []int{1, 2, 4, 8} {
+		inst, err := NewInstanceOpts(ps, us, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Prep.ScannedProducts == 0 {
+			t.Fatal("indexed preprocessing scanned nothing")
+		}
+		if i == 0 {
+			want = inst.Prep
+		} else if inst.Prep != want {
+			t.Fatalf("workers=%d: prep stats %+v vs sequential %+v", workers, inst.Prep, want)
+		}
+	}
+}
+
+// TestMaintainerAddUserIndexOnOff runs the same arrival sequence through
+// an indexed and an index-less Maintainer: the appended thresholds (and
+// the regions they induce) must be byte-identical — the indexed
+// UserArrived path is a pure perf optimization.
+func TestMaintainerAddUserIndexOnOff(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ps := data.Independent(rng, 300, 3)
+	us := data.WithK(data.ClusteredUsers(rng, 12, 3, 3, 0.08), 5)
+	m := 6
+
+	build := func(disable bool) *Maintainer {
+		inst, err := NewInstanceOpts(ps, us, Options{DisableTopKIndex: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := NewMaintainer(inst, m, Options{DisableTopKIndex: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mt
+	}
+	on, off := build(false), build(true)
+	if on.search == nil {
+		t.Fatal("indexed Maintainer has no searcher")
+	}
+	if off.search != nil {
+		t.Fatal("index-less Maintainer got a searcher")
+	}
+
+	arrivals := data.WithK(data.UniformUsers(rng, 10, 3), 1)
+	for i := range arrivals {
+		arrivals[i].K = 1 + (i*3)%9
+	}
+	for i, u := range arrivals {
+		hOn, err := on.AddUser(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hOff, err := off.AddUser(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hOn != hOff {
+			t.Fatalf("arrival %d: handles %d vs %d", i, hOn, hOff)
+		}
+		g, w := on.run.inst.Kth[hOn], off.run.inst.Kth[hOff]
+		if g.Index != w.Index || math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("arrival %d: indexed threshold %+v vs scan %+v", i, g, w)
+		}
+	}
+	if on.run.st.ScannedProducts == 0 {
+		t.Error("indexed arrivals recorded no scanned products")
+	}
+	// Same users, same thresholds: the maintained regions must agree.
+	ra, rb := on.Region(), off.Region()
+	for probe := 0; probe < 2000; probe++ {
+		p := make(geom.Vector, 3)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		if on.MinBoundaryGap(p) < 1e-6 {
+			continue
+		}
+		if ra.Contains(p) != rb.Contains(p) {
+			t.Fatalf("regions disagree at %v", p)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package geom
+
+import "fmt"
+
+// This file holds the flat-matrix scoring kernels behind the layered
+// top-k index (internal/topk): batched inner products of one weight
+// vector against the rows of a row-major d-column matrix. The kernels
+// exist so the index can score whole product layers over contiguous
+// memory instead of chasing per-product heap vectors.
+//
+// Bit-identity contract: for every row r, the result equals
+// w.Dot(row_r) exactly — same multiplication pairs, same accumulation
+// tree (the four-way-unrolled s0..s3 sums of dot, folded as
+// (s0+s1)+(s2+s3)). The indexed and naive top-k paths therefore produce
+// byte-identical scores, which the engine's index-on/off determinism
+// guarantee rests on.
+
+// DotRows computes out[r] = w · flat[r*d : (r+1)*d] for every r in
+// [0, len(out)). flat must hold at least len(out)*d values and w must
+// have length d. Rows are processed in pairs (two independent
+// accumulator sets keep the FP units busy); each row's accumulation
+// order is exactly that of Vector.Dot, so results are bit-identical to
+// the per-vector kernel.
+func DotRows(flat []float64, d int, w Vector, out []float64) {
+	if len(w) != d {
+		panic(fmt.Sprintf("geom: DotRows weight has %d components, want %d", len(w), d))
+	}
+	n := len(out)
+	if n == 0 {
+		return
+	}
+	if len(flat) < n*d {
+		panic(fmt.Sprintf("geom: DotRows matrix has %d values, need %d", len(flat), n*d))
+	}
+	if d == 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return
+	}
+	r := 0
+	for ; r+2 <= n; r += 2 {
+		a := flat[r*d : r*d+d : r*d+d]
+		b := flat[(r+1)*d : (r+1)*d+d : (r+1)*d+d]
+		var a0, a1, a2, a3 float64
+		var b0, b1, b2, b3 float64
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			a0 += w[i] * a[i]
+			a1 += w[i+1] * a[i+1]
+			a2 += w[i+2] * a[i+2]
+			a3 += w[i+3] * a[i+3]
+			b0 += w[i] * b[i]
+			b1 += w[i+1] * b[i+1]
+			b2 += w[i+2] * b[i+2]
+			b3 += w[i+3] * b[i+3]
+		}
+		for ; i < d; i++ {
+			a0 += w[i] * a[i]
+			b0 += w[i] * b[i]
+		}
+		out[r] = (a0 + a1) + (a2 + a3)
+		out[r+1] = (b0 + b1) + (b2 + b3)
+	}
+	if r < n {
+		out[r] = dot(w, flat[r*d:r*d+d])
+	}
+}
+
+// RowMax widens max (length d) to the componentwise maximum of itself
+// and the rows of flat. It is the bound-maintenance helper of the
+// layered index: a layer's per-dimension maxima, dotted with a
+// non-negative weight vector, upper-bound every score in the layer.
+func RowMax(flat []float64, d int, max []float64) {
+	if d == 0 {
+		return
+	}
+	for off := 0; off+d <= len(flat); off += d {
+		row := flat[off : off+d : off+d]
+		for j, x := range row {
+			if x > max[j] {
+				max[j] = x
+			}
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mir/internal/geom"
+)
+
+// sameKth asserts bitwise equality of two KthResults: same product id and
+// the exact same score bits.
+func sameKth(t *testing.T, ctx string, got, want KthResult) {
+	t.Helper()
+	if got.Index != want.Index ||
+		math.Float64bits(got.Score) != math.Float64bits(want.Score) {
+		t.Fatalf("%s: indexed %+v (score bits %x) vs reference %+v (score bits %x)",
+			ctx, got, math.Float64bits(got.Score), want, math.Float64bits(want.Score))
+	}
+}
+
+// gridWeight draws strictly positive lattice weights normalized to the
+// simplex — scores collide often, but no component is zero, so dominance
+// still forces strict score order and every selection rule agrees.
+func gridWeight(rng *rand.Rand, d int) geom.Vector {
+	w := make(geom.Vector, d)
+	s := 0.0
+	for j := range w {
+		w[j] = float64(1 + rng.Intn(4))
+		s += w[j]
+	}
+	for j := range w {
+		w[j] /= s
+	}
+	return w
+}
+
+// TestSearcherKthMatchesFullScan is the core byte-identity property: the
+// indexed search must return the exact result of the naive full product
+// scan — identity and score bits — across dimensionalities, sizes spanning
+// multiple blocks and layers, every k, and regardless of the peel cap
+// (any layer partition must be query-correct, only pruning quality may
+// differ).
+func TestSearcherKthMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(400)
+		d := 1 + rng.Intn(5)
+		ps := randomProducts(rng, n, d)
+		maxLayers := 1 + rng.Intn(6) // exercise tiny caps: tail-heavy indexes
+		ix := NewIndexLayers(ps, maxLayers)
+		s := NewSearcher(ix)
+		for q := 0; q < 20; q++ {
+			w := randomWeight(rng, d)
+			k := 1 + rng.Intn(n)
+			sameKth(t, "random", s.Kth(w, k), KthScore(ps, w, k))
+		}
+	}
+}
+
+// TestSearcherKthTieHeavy drives the indexed search through the tie-break
+// branches: grid-valued attributes with forced exact duplicates, grid
+// weights, and per-user heterogeneous k. The reference is the naive full
+// scan; the skyband-pruned AllTopK must also agree (strictly positive
+// weights make dominators strictly better, so the prune is exact here).
+func TestSearcherKthTieHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(200)
+		d := 1 + rng.Intn(4)
+		ps := gridProducts(rng, n, d, 3)
+		for c := 0; c < n/4; c++ {
+			ps[rng.Intn(n)] = ps[rng.Intn(n)].Clone()
+		}
+		ix := NewIndex(ps)
+		s := NewSearcher(ix)
+		users := make([]UserPref, 30)
+		for i := range users {
+			users[i] = UserPref{W: gridWeight(rng, d), K: 1 + (i*7)%minInt(19, n)}
+		}
+		naive := AllTopKWorkers(ps, users, 1)
+		for ui, u := range users {
+			want := KthScore(ps, u.W, u.K)
+			sameKth(t, "ties/full-scan", s.Kth(u.W, u.K), want)
+			sameKth(t, "ties/skyband", naive[ui], want)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestIndexAllTopKWorkersByteIdentical pins the satellite acceptance
+// criterion: Instance-level results are byte-identical with the index on
+// or off, for workers 1, 2, 4, and 8 — on a tie-heavy fixture with
+// duplicate products and heterogeneous per-user k.
+func TestIndexAllTopKWorkersByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	n := 1500
+	ps := gridProducts(rng, n, 3, 4)
+	for c := 0; c < n/5; c++ {
+		ps[rng.Intn(n)] = ps[rng.Intn(n)].Clone()
+	}
+	users := make([]UserPref, 211)
+	for i := range users {
+		users[i] = UserPref{W: gridWeight(rng, 3), K: 1 + (i*7)%19}
+	}
+	want := AllTopKWorkers(ps, users, 1) // naive, sequential
+	ix := NewIndex(ps)
+	var statsAt1 SearchStats
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, st := ix.AllTopKWorkers(users, workers)
+		for ui := range want {
+			if got[ui].Index != want[ui].Index ||
+				math.Float64bits(got[ui].Score) != math.Float64bits(want[ui].Score) {
+				t.Fatalf("workers=%d user %d: indexed %+v vs naive %+v",
+					workers, ui, got[ui], want[ui])
+			}
+		}
+		if workers == 1 {
+			statsAt1 = st
+		} else if st != statsAt1 {
+			// Per-user searches are independent and the counters merge by
+			// summation, so the totals must not depend on the fan-out.
+			t.Fatalf("workers=%d: stats %+v differ from sequential %+v", workers, st, statsAt1)
+		}
+	}
+}
+
+// TestSearcherKthZeroAndNegativeWeights checks exactness where the naive
+// skyband prune is NOT trusted: zero weight components make dominated
+// products tie with their dominators, and negative components (a hostile
+// caller) disable pruning entirely. The indexed search must still equal
+// the full scan bit for bit.
+func TestSearcherKthZeroAndNegativeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(150)
+		d := 2 + rng.Intn(3)
+		ps := gridProducts(rng, n, d, 3)
+		ix := NewIndex(ps)
+		s := NewSearcher(ix)
+		for q := 0; q < 10; q++ {
+			w := randomWeight(rng, d)
+			w[rng.Intn(d)] = 0 // ties across dominance become possible
+			k := 1 + rng.Intn(n)
+			sameKth(t, "zero-weight", s.Kth(w, k), KthScore(ps, w, k))
+
+			h := randomWeight(rng, d)
+			h[rng.Intn(d)] = -0.3
+			sameKth(t, "negative-weight", s.Kth(h, k), KthScore(ps, h, k))
+		}
+	}
+}
+
+// liveRef answers the reference top-k-th over the live rows of a mutated
+// index: a naive full scan over the live products in ascending global-id
+// order (position tie-break there = global-id tie-break).
+func liveRef(ix *Index, alive map[int]geom.Vector, w geom.Vector, k int) KthResult {
+	ids := make([]int, 0, len(alive))
+	for id := range alive {
+		ids = append(ids, id)
+	}
+	// Insertion order is map-random; sort ascending for the tie-break.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	ps := make([]geom.Vector, len(ids))
+	for i, id := range ids {
+		ps[i] = alive[id]
+	}
+	r := KthScore(ps, w, k)
+	return KthResult{Index: ids[r.Index], Score: r.Score}
+}
+
+// TestIndexPatchVsRebuild drives the index through a random product
+// arrival/departure sequence and, at every step, checks three-way
+// equivalence: the patched index, a rebuilt-from-scratch index, and the
+// naive full scan over the live set all return identical results.
+func TestIndexPatchVsRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	d := 3
+	ps := randomProducts(rng, 120, d)
+	ix := NewIndexLayers(ps, 4) // small cap: the tail layer sees patches too
+	alive := map[int]geom.Vector{}
+	for id, p := range ps {
+		alive[id] = p
+	}
+	liveIDs := make([]int, 0, 256)
+	for id := range alive {
+		liveIDs = append(liveIDs, id)
+	}
+	check := func(step string) {
+		t.Helper()
+		s := NewSearcher(ix)
+		for q := 0; q < 8; q++ {
+			w := randomWeight(rng, d)
+			k := 1 + rng.Intn(ix.Len())
+			sameKth(t, step+"/patched", s.Kth(w, k), liveRef(ix, alive, w, k))
+		}
+	}
+	check("initial")
+	for step := 0; step < 150; step++ {
+		if rng.Intn(2) == 0 || len(alive) < 10 {
+			p := make(geom.Vector, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			id := ix.Insert(p)
+			if _, used := alive[id]; used {
+				t.Fatalf("step %d: Insert reused live id %d", step, id)
+			}
+			alive[id] = p
+			liveIDs = append(liveIDs, id)
+		} else {
+			victim := liveIDs[rng.Intn(len(liveIDs))]
+			for _, ok := alive[victim]; !ok; _, ok = alive[victim] {
+				victim = liveIDs[rng.Intn(len(liveIDs))]
+			}
+			ix.Remove(victim)
+			delete(alive, victim)
+		}
+		if ix.Len() != len(alive) {
+			t.Fatalf("step %d: index Len=%d, oracle has %d live", step, ix.Len(), len(alive))
+		}
+		check("churn")
+	}
+	patchedLayers := ix.LayerSizes()
+	ix.Rebuild()
+	check("rebuilt")
+	// A rebuild restores the peel: layer row totals must still cover every
+	// live product exactly once.
+	total := 0
+	for _, n := range ix.LayerSizes() {
+		total += n
+	}
+	if total != len(alive) {
+		t.Fatalf("rebuilt layers hold %d rows, want %d (patched layout was %v)",
+			total, len(alive), patchedLayers)
+	}
+	if ix.Patches() == 0 {
+		t.Error("churn produced no patch counts")
+	}
+}
+
+// TestIndexRebuildPolicy checks the re-peel trigger: enough patches on a
+// small live set must cross both policy thresholds and bump Rebuilds,
+// while a huge live set absorbs the same patch count without rebuilding.
+func TestIndexRebuildPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	small := NewIndex(randomProducts(rng, 100, 3))
+	for i := 0; i < 80; i++ {
+		p := make(geom.Vector, 3)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		small.Insert(p)
+	}
+	if small.Rebuilds() == 0 {
+		t.Errorf("80 patches on 100 live products triggered no rebuild (patches=%d)", small.Patches())
+	}
+
+	big := NewIndex(randomProducts(rng, 2000, 3))
+	for i := 0; i < 80; i++ {
+		p := make(geom.Vector, 3)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		big.Insert(p)
+	}
+	if big.Rebuilds() != 0 {
+		t.Errorf("80 patches on 2000 live products rebuilt %d times — policy too eager", big.Rebuilds())
+	}
+	if big.Patches() != 80 {
+		t.Errorf("Patches = %d, want 80", big.Patches())
+	}
+}
+
+// TestIndexPruningEffective asserts the perf property the index exists
+// for, on a fixed seed: answering top-10 queries scans far fewer products
+// than the naive skyband scan (|10-skyband| rows per user), and whole
+// layers get pruned by the threshold bound.
+func TestIndexPruningEffective(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	ps := randomProducts(rng, 20000, 3)
+	users := make([]UserPref, 200)
+	for i := range users {
+		users[i] = UserPref{W: randomWeight(rng, 3), K: 10}
+	}
+	ix := NewIndex(ps)
+	_, st := ix.AllTopKWorkers(users, 1)
+	bandRows := len(Skyband(ps, 10))
+	avgScanned := float64(st.ScannedProducts) / float64(len(users))
+	if avgScanned*5 > float64(bandRows) {
+		t.Errorf("avg scanned %.1f products/user; naive skyband scan is %d — under 5x",
+			avgScanned, bandRows)
+	}
+	if st.LayerPrunes == 0 {
+		t.Error("no layer prunes on a 20k-product index")
+	}
+	t.Logf("scanned/user %.1f, skyband %d (%.1fx), layer prunes %d, layers %v",
+		avgScanned, bandRows, float64(bandRows)/avgScanned, st.LayerPrunes, ix.LayerSizes())
+}
+
+// TestIndexLayerPartition checks structural invariants of the build:
+// layers partition the products, the first layer contains the whole
+// skyline, and every row outside it has a dominator in an earlier-or-
+// same layer (the banded peel keeps dominators at lower or equal depth).
+func TestIndexLayerPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	ps := randomProducts(rng, 5000, 3)
+	ix := NewIndex(ps)
+	seen := make([]bool, len(ps))
+	layerOf := make([]int, len(ps))
+	for l, sz := range ix.LayerSizes() {
+		ly := ix.layers[l]
+		if ly.rows() != sz {
+			t.Fatalf("layer %d: LayerSizes says %d, rows() says %d", l, sz, ly.rows())
+		}
+		for _, id := range ly.ids {
+			if seen[id] {
+				t.Fatalf("product %d appears in two layers", id)
+			}
+			seen[id] = true
+			layerOf[id] = l
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("product %d missing from every layer", id)
+		}
+	}
+	for _, i := range Skyline(ps) {
+		if layerOf[i] != 0 {
+			t.Fatalf("skyline product %d landed in layer %d", i, layerOf[i])
+		}
+	}
+	for id := range ps {
+		if layerOf[id] == 0 {
+			continue
+		}
+		best := -1
+		for j := range ps {
+			if j != id && ps[j].Dominates(ps[id]) && (best < 0 || layerOf[j] < best) {
+				best = layerOf[j]
+			}
+		}
+		if best < 0 || best > layerOf[id] {
+			t.Fatalf("product %d in layer %d: closest dominator layer %d", id, layerOf[id], best)
+		}
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	ix := NewIndex([]geom.Vector{{0.5, 0.5}})
+	s := NewSearcher(ix)
+	expectPanic(t, "k=0", func() { s.Kth(geom.Vector{1, 0}, 0) })
+	expectPanic(t, "k>|P|", func() { s.Kth(geom.Vector{1, 0}, 2) })
+	expectPanic(t, "query dim", func() { s.Kth(geom.Vector{1}, 1) })
+	expectPanic(t, "insert dim", func() { ix.Insert(geom.Vector{1, 2, 3}) })
+	expectPanic(t, "remove absent", func() { ix.Remove(7) })
+	ix.Remove(0)
+	expectPanic(t, "double remove", func() { ix.Remove(0) })
+}
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func BenchmarkIndexedAllTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomProducts(rng, 100000, 4)
+	users := make([]UserPref, 1000)
+	for i := range users {
+		users[i] = UserPref{W: randomWeight(rng, 4), K: 10}
+	}
+	ix := NewIndex(ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.AllTopKWorkers(users, 0)
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomProducts(rng, 100000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIndex(ps)
+	}
+}

@@ -127,10 +127,22 @@ func Skyband(products []geom.Vector, k int) []int {
 		return order[a] < order[b]
 	})
 	var band []int
+	d := 0
+	if n > 0 {
+		d = len(products[0])
+	}
+	// Dominance requires q >= p - Eps componentwise, so any dominator of p
+	// has attribute sum >= p.Sum() - d*Eps. Band members are appended in
+	// descending-sum order, so the dominance scan can stop at the first
+	// member whose sum drops below that floor.
 	for _, i := range order {
 		p := products[i]
+		pFloor := sums[i] - float64(d)*geom.Eps
 		dominators := 0
 		for _, j := range band {
+			if sums[j] < pFloor {
+				break
+			}
 			if products[j].Dominates(p) {
 				dominators++
 				if dominators >= k {

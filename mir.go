@@ -88,6 +88,13 @@ type Options struct {
 	// begins, never what it answers — regions and all stats except the pivot
 	// counters are identical either way; the switch exists for benchmarking.
 	DisableWarmStart bool
+	// DisableTopKIndex turns off the layered all-top-k product index: the
+	// preprocessing falls back to the skyband-pruned full scan and a
+	// Monitor's UserArrived recomputes thresholds by scanning every
+	// product. The index changes only which products get scored, never
+	// the selection — every user's top-k-th product (identity and score)
+	// is byte-identical either way; the switch exists for benchmarking.
+	DisableTopKIndex bool
 }
 
 // Strategy selects AA's group-insertion order.
@@ -115,6 +122,7 @@ func (o *Options) toCore() core.Options {
 		DisableGrouping:   o.DisableGrouping,
 		DisablePruning:    o.DisableRedundancyPruning,
 		DisableWarmStart:  o.DisableWarmStart,
+		DisableTopKIndex:  o.DisableTopKIndex,
 	}
 }
 
@@ -141,7 +149,7 @@ type Analyzer struct {
 func NewAnalyzer(products [][]float64, users []User, opts *Options) (*Analyzer, error) {
 	ps, us := convert(products, users)
 	co := opts.toCore()
-	inst, err := core.NewInstanceWorkers(ps, us, co.Workers)
+	inst, err := core.NewInstanceOpts(ps, us, co)
 	if err != nil {
 		return nil, fmt.Errorf("mir: %w", err)
 	}

@@ -112,6 +112,17 @@ type Stats struct {
 	WarmHits   int64
 	WarmMisses int64
 	ColdSolves int64
+	// ScannedProducts and LayerPrunes profile the layered all-top-k
+	// index behind the preprocessing and the Monitor's arrival path:
+	// product rows actually scored, and index blocks (the layers' bound
+	// granules) skipped whole by the threshold bound. IndexPatches and IndexRebuilds count the index's
+	// incremental product-dynamics operations. All four are zero when
+	// Options.DisableTopKIndex selected the scan paths, and — like the
+	// counters above — deterministic for every worker count.
+	ScannedProducts int64
+	LayerPrunes     int64
+	IndexPatches    int64
+	IndexRebuilds   int64
 	// StealCount and MaxFrontier profile the task-parallel frontier
 	// scheduler (zero for sequential runs). Unlike the counters above they
 	// are scheduling-sensitive: they vary run to run at Workers > 1.
@@ -136,6 +147,10 @@ func (r *Region) Stats() Stats {
 		WarmHits:         s.WarmHits,
 		WarmMisses:       s.WarmMisses,
 		ColdSolves:       s.ColdSolves,
+		ScannedProducts:  s.ScannedProducts,
+		LayerPrunes:      s.LayerPrunes,
+		IndexPatches:     s.IndexPatches,
+		IndexRebuilds:    s.IndexRebuilds,
 		StealCount:       s.StealCount,
 		MaxFrontier:      s.MaxFrontier,
 	}
