@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-hammer bench-smoke bench bench-json bench-topk bench-check ci
+.PHONY: all vet build test race race-hammer mird-smoke bench-smoke bench bench-json bench-topk bench-check ci
 
 all: ci
 
@@ -10,7 +10,9 @@ vet:
 build:
 	$(GO) build ./...
 
-test:
+# vet is part of the tier-1 gate: `make test` never passes on code vet
+# would reject.
+test: vet
 	$(GO) test ./...
 
 race:
@@ -23,6 +25,12 @@ race:
 # bite.
 race-hammer:
 	$(GO) test -race -count=3 -run 'Parallel|Steal|Concurrent|Frontier' ./...
+
+# Standing-daemon smoke under the race detector: concurrent reads during
+# write bursts with 429-retry, coalesced-vs-sequential region identity,
+# ingest validation/backpressure status codes, and the SSE watch path.
+mird-smoke:
+	$(GO) test -race -count=1 -run 'MirdSmoke' ./cmd/mird
 
 # One iteration of the sequential-vs-parallel benchmark pair, as a smoke
 # test that the instrumented paths still run (timings are not meaningful at
@@ -62,4 +70,4 @@ bench-check:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.ci.json -baseline BENCH_AA.json
 	$(GO) run ./cmd/mirbench -json-topk BENCH_TOPK.ci.json -baseline-topk BENCH_TOPK.json
 
-ci: vet build race race-hammer bench-smoke
+ci: vet build race race-hammer mird-smoke bench-smoke

@@ -1,0 +1,409 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mir"
+)
+
+func testMonitor(t *testing.T, nP, nU, d, k, m int) (*mir.Monitor, [][]float64) {
+	t.Helper()
+	products := mir.SynthProducts(mir.Independent, nP, d, 11)
+	users := mir.SynthUsers(mir.Clustered, nU, d, k, 12)
+	mo, err := mir.NewMonitor(products, users, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mo, products
+}
+
+func postArrival(client *http.Client, base string, weights []float64, k int) (int, int, error) {
+	body, _ := json.Marshal(map[string]any{"weights": weights, "k": k})
+	resp, err := client.Post(base+"/users", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, -1, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Handle int `json:"handle"`
+	}
+	out.Handle = -1
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out.Handle, nil
+}
+
+func deleteUser(client *http.Client, base string, handle int) (int, error) {
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/users/%d", base, handle), nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// TestMirdSmokeReadsDuringWrites is the daemon's core concurrency smoke
+// (run under -race by `make mird-smoke`): writer goroutines push
+// arrival/departure bursts — retrying on 429 backpressure — while reader
+// goroutines hammer every read endpoint; every read must succeed and each
+// reader must observe a non-decreasing epoch. After a graceful stop, the
+// population must equal the initial users plus the net accepted events.
+func TestMirdSmokeReadsDuringWrites(t *testing.T) {
+	mo, products := testMonitor(t, 200, 16, 3, 5, 6)
+	srv := newServer(mo, products, 64)
+	srv.start()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const writers, eventsPerWriter = 2, 15
+	var mu sync.Mutex
+	netUsers := 16
+
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			var mine []int
+			for i := 0; i < eventsPerWriter; i++ {
+				w := []float64{0.2 + 0.01*float64(wtr), 0.3 + 0.01*float64(i), 0.5}
+				for {
+					status, h, err := postArrival(client, ts.URL, w, 4)
+					if err != nil {
+						t.Errorf("writer %d: %v", wtr, err)
+						return
+					}
+					if status == http.StatusAccepted {
+						if h < 0 {
+							t.Errorf("writer %d: accepted arrival without handle", wtr)
+							return
+						}
+						mine = append(mine, h)
+						mu.Lock()
+						netUsers++
+						mu.Unlock()
+						break
+					}
+					if status != http.StatusTooManyRequests {
+						t.Errorf("writer %d: arrival status %d", wtr, status)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				// Depart an earlier arrival of ours every third event.
+				if i%3 == 2 {
+					h := mine[0]
+					mine = mine[1:]
+					for {
+						status, err := deleteUser(client, ts.URL, h)
+						if err != nil {
+							t.Errorf("writer %d: %v", wtr, err)
+							return
+						}
+						if status == http.StatusAccepted {
+							mu.Lock()
+							netUsers--
+							mu.Unlock()
+							break
+						}
+						if status != http.StatusTooManyRequests {
+							t.Errorf("writer %d: depart status %d", wtr, status)
+							return
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+				}
+			}
+		}(wtr)
+	}
+
+	stopReaders := make(chan struct{})
+	var rg sync.WaitGroup
+	paths := []string{"/stats", "/region", "/coverage?point=0.5,0.5,0.5", "/influence/topn?n=3"}
+	for rd := 0; rd < 4; rd++ {
+		rg.Add(1)
+		go func(rd int) {
+			defer rg.Done()
+			lastEpoch := float64(-1)
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + paths[rd%len(paths)])
+				if err != nil {
+					t.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: status %d", rd, resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				var out map[string]any
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					t.Errorf("reader %d: decode: %v", rd, err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				epoch, ok := out["epoch"].(float64)
+				if !ok {
+					t.Errorf("reader %d: response without epoch: %v", rd, out)
+					return
+				}
+				if epoch < lastEpoch {
+					t.Errorf("reader %d: epoch went backward: %v after %v", rd, epoch, lastEpoch)
+					return
+				}
+				lastEpoch = epoch
+			}
+		}(rd)
+	}
+
+	wg.Wait()
+	close(stopReaders)
+	rg.Wait()
+	srv.stop()
+
+	if got := mo.NumUsers(); got != netUsers {
+		t.Fatalf("final population %d, accepted net %d", got, netUsers)
+	}
+	es := srv.cur.Load()
+	if es.epoch == 0 {
+		t.Fatal("no epochs published")
+	}
+	if want := uint64(writers * (eventsPerWriter + eventsPerWriter/3)); es.applied != want {
+		t.Fatalf("applied %d events, want %d", es.applied, want)
+	}
+	// Post-drain region must equal a from-scratch Monitor fed nothing (the
+	// daemon's own Monitor IS the from-scratch state after stop); sanity:
+	// stats endpoint still serves and reports zero desyncs and empty queue.
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		QueueLen     int   `json:"queueLen"`
+		CountDesyncs int64 `json:"countDesyncs"`
+		NumUsers     int   `json:"numUsers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.QueueLen != 0 || st.CountDesyncs != 0 || st.NumUsers != netUsers {
+		t.Fatalf("final stats: %+v (want empty queue, zero desyncs, %d users)", st, netUsers)
+	}
+}
+
+// TestMirdSmokeCoalescedEqualsSequential drives the same event stream
+// through the daemon (where bursts coalesce into batched passes) and
+// through a plain sequential Monitor, then demands byte-identical
+// regions.
+func TestMirdSmokeCoalescedEqualsSequential(t *testing.T) {
+	mo, products := testMonitor(t, 150, 12, 3, 4, 5)
+	ref, _ := testMonitor(t, 150, 12, 3, 4, 5)
+	srv := newServer(mo, products, 128)
+	srv.start()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	users := mir.SynthUsers(mir.Uniform, 10, 3, 3, 99)
+	for i, u := range users {
+		status, h, err := postArrival(client, ts.URL, u.Weights, u.K)
+		if err != nil || status != http.StatusAccepted {
+			t.Fatalf("arrival %d: status %d err %v", i, status, err)
+		}
+		if rh, err := ref.UserArrived(u); err != nil || rh != h {
+			t.Fatalf("arrival %d: daemon handle %d, reference %d (err %v)", i, h, rh, err)
+		}
+		if i%2 == 1 {
+			status, err := deleteUser(client, ts.URL, i/2)
+			if err != nil || status != http.StatusAccepted {
+				t.Fatalf("depart %d: status %d err %v", i/2, status, err)
+			}
+			if err := ref.UserDeparted(i / 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	srv.stop()
+
+	want, got := ref.Region(), mo.Region()
+	wc, gc := want.Cells(), got.Cells()
+	if len(wc) != len(gc) {
+		t.Fatalf("daemon region has %d cells, sequential %d", len(gc), len(wc))
+	}
+	for ci := range wc {
+		a, b := wc[ci].Constraints(), gc[ci].Constraints()
+		if len(a) != len(b) {
+			t.Fatalf("cell %d: %d constraints vs %d", ci, len(b), len(a))
+		}
+		for j := range a {
+			if a[j].T != b[j].T {
+				t.Fatalf("cell %d constraint %d: thresholds differ", ci, j)
+			}
+			for x := range a[j].W {
+				if a[j].W[x] != b[j].W[x] {
+					t.Fatalf("cell %d constraint %d coord %d differs", ci, j, x)
+				}
+			}
+		}
+	}
+}
+
+// TestMirdSmokeValidationAndBackpressure pins the ingest status codes:
+// 400 on malformed arrivals, 404 on unknown or already-queued departures,
+// 429 + Retry-After when the queue is full (writer deliberately not
+// started), and 503 after shutdown.
+func TestMirdSmokeValidationAndBackpressure(t *testing.T) {
+	mo, products := testMonitor(t, 100, 8, 3, 4, 4)
+	srv := newServer(mo, products, 2) // writer NOT started: queue fills deterministically
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if status, _, _ := postArrival(client, ts.URL, []float64{0.5, 0.5}, 3); status != http.StatusBadRequest {
+		t.Fatalf("wrong-dimension arrival: status %d", status)
+	}
+	if status, _, _ := postArrival(client, ts.URL, []float64{0.3, 0.3, 0.4}, 0); status != http.StatusBadRequest {
+		t.Fatalf("k=0 arrival: status %d", status)
+	}
+	if status, _, _ := postArrival(client, ts.URL, []float64{0.3, 0.3, 0.4}, 101); status != http.StatusBadRequest {
+		t.Fatalf("k>|P| arrival: status %d", status)
+	}
+	if status, _ := deleteUser(client, ts.URL, 999); status != http.StatusNotFound {
+		t.Fatalf("unknown departure: status %d", status)
+	}
+
+	// Fill the queue: a queued departure makes its handle immediately
+	// invalid for a second DELETE even though nothing has applied yet.
+	if status, _ := deleteUser(client, ts.URL, 0); status != http.StatusAccepted {
+		t.Fatalf("first departure: status %d", status)
+	}
+	if status, _ := deleteUser(client, ts.URL, 0); status != http.StatusNotFound {
+		t.Fatalf("duplicate queued departure: status %d", status)
+	}
+	if status, _ := deleteUser(client, ts.URL, 1); status != http.StatusAccepted {
+		t.Fatalf("second departure: status %d", status)
+	}
+
+	// Queue (cap 2) is now full: backpressure, with a Retry-After hint.
+	body, _ := json.Marshal(map[string]any{"weights": []float64{0.3, 0.3, 0.4}, "k": 3})
+	resp, err := client.Post(ts.URL+"/users", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Drain-then-shutdown: both queued departures must apply.
+	srv.start()
+	srv.stop()
+	if got := mo.NumUsers(); got != 6 {
+		t.Fatalf("population after drain %d, want 6", got)
+	}
+	if status, _, _ := postArrival(client, ts.URL, []float64{0.3, 0.3, 0.4}, 3); status != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown arrival: status %d, want 503", status)
+	}
+}
+
+// TestMirdSmokeWatch subscribes an SSE client and verifies it receives a
+// change alert when departures reshape the region, carrying a watched
+// product's membership flip when one occurs.
+func TestMirdSmokeWatch(t *testing.T) {
+	mo, products := testMonitor(t, 150, 14, 3, 5, 7)
+	srv := newServer(mo, products, 64)
+	srv.start()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/watch?product=0&product=1&product=2", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status %d", resp.StatusCode)
+	}
+
+	events := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: ") {
+				events <- strings.TrimPrefix(line, "event: ")
+			}
+		}
+		close(events)
+	}()
+	select {
+	case ev := <-events:
+		if ev != "hello" {
+			t.Fatalf("first SSE event %q, want hello", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no hello event")
+	}
+
+	// Shrink the population hard: with m fixed at 7 and users leaving,
+	// the region must change shape (eventually emptying), firing alerts.
+	client := ts.Client()
+	for h := 0; h < 7; h++ {
+		for {
+			status, err := deleteUser(client, ts.URL, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status == http.StatusAccepted {
+				break
+			}
+			if status != http.StatusTooManyRequests {
+				t.Fatalf("depart %d: status %d", h, status)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	gotChange := false
+	deadline := time.After(15 * time.Second)
+	for !gotChange {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("SSE stream closed without a change event")
+			}
+			if ev == "change" {
+				gotChange = true
+			}
+		case <-deadline:
+			t.Fatal("no change event within deadline")
+		}
+	}
+	cancel() // release the watch handler before stopping
+	srv.stop()
+}

@@ -238,3 +238,237 @@ func TestMostInfluential(t *testing.T) {
 		t.Errorf("n beyond |P| should clamp, got %d", len(got))
 	}
 }
+
+// assertRegionsIdentical compares two public regions cell by cell with
+// exact float equality — the byte-identity contract.
+func assertRegionsIdentical(t *testing.T, label string, want, got *Region) {
+	t.Helper()
+	wc, gc := want.Cells(), got.Cells()
+	if len(wc) != len(gc) {
+		t.Fatalf("%s: %d cells, want %d", label, len(gc), len(wc))
+	}
+	for ci := range wc {
+		a, b := wc[ci].Constraints(), gc[ci].Constraints()
+		if len(a) != len(b) {
+			t.Fatalf("%s: cell %d: %d constraints, want %d", label, ci, len(b), len(a))
+		}
+		for j := range a {
+			if a[j].T != b[j].T {
+				t.Fatalf("%s: cell %d constraint %d: thresholds differ", label, ci, j)
+			}
+			for k := range a[j].W {
+				if a[j].W[k] != b[j].W[k] {
+					t.Fatalf("%s: cell %d constraint %d coord %d differs", label, ci, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorHandleContractUnderFailures is the handle-contract property
+// test: rejected arrivals must not consume a handle or leave partial
+// state. It interleaves malformed arrivals (wrong dimensionality both
+// ways, k=0, k>|P|) with good events against a mirror Monitor that
+// receives only the good events; after every step the handles, the
+// populations, and the regions must agree, and every rejected arrival
+// must return -1 while leaving NextHandle unchanged.
+func TestMonitorHandleContractUnderFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ps, us := fixture(rng, 150, 12, 3, 4)
+	const m = 6
+	mo, err := NewMonitor(ps, us, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := NewMonitor(ps, us, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	badArrivals := []User{
+		{Weights: []float64{0.5, 0.5}, K: 2},           // too few weights
+		{Weights: []float64{0.2, 0.2, 0.2, 0.4}, K: 2}, // too many
+		{Weights: []float64{0.3, 0.3, 0.4}, K: 0},      // k too small
+		{Weights: []float64{0.3, 0.3, 0.4}, K: 151},    // k beyond |P|
+	}
+	live := make([]int, 12)
+	for i := range live {
+		live[i] = i
+	}
+	for step := 0; step < 24; step++ {
+		switch {
+		case step%3 == 1: // malformed arrival
+			before := mo.NextHandle()
+			h, err := mo.UserArrived(badArrivals[step%len(badArrivals)])
+			if err == nil {
+				t.Fatalf("step %d: malformed arrival accepted", step)
+			}
+			if h != -1 {
+				t.Fatalf("step %d: rejected arrival returned handle %d, want -1", step, h)
+			}
+			if mo.NextHandle() != before {
+				t.Fatalf("step %d: rejected arrival consumed a handle (%d -> %d)",
+					step, before, mo.NextHandle())
+			}
+		case step%3 == 2 && len(live) > m+1: // departure
+			pick := live[rng.Intn(len(live))]
+			for i, h := range live {
+				if h == pick {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+			if err := mo.UserDeparted(pick); err != nil {
+				t.Fatalf("step %d: depart %d: %v", step, pick, err)
+			}
+			if err := mirror.UserDeparted(pick); err != nil {
+				t.Fatalf("step %d: mirror depart %d: %v", step, pick, err)
+			}
+		default: // good arrival
+			_, newcomer := fixture(rng, 1, 1, 3, 3)
+			want := mo.NextHandle()
+			if want != mirror.NextHandle() {
+				t.Fatalf("step %d: monitors disagree on next handle: %d vs %d",
+					step, want, mirror.NextHandle())
+			}
+			h, err := mo.UserArrived(newcomer[0])
+			if err != nil {
+				t.Fatalf("step %d: arrival: %v", step, err)
+			}
+			hm, err := mirror.UserArrived(newcomer[0])
+			if err != nil {
+				t.Fatalf("step %d: mirror arrival: %v", step, err)
+			}
+			if h != want || hm != want {
+				t.Fatalf("step %d: handles %d/%d, predicted %d", step, h, hm, want)
+			}
+			live = append(live, h)
+		}
+		if mo.NumUsers() != mirror.NumUsers() {
+			t.Fatalf("step %d: populations diverged: %d vs %d",
+				step, mo.NumUsers(), mirror.NumUsers())
+		}
+	}
+	assertRegionsIdentical(t, "after failure churn", mirror.Region(), mo.Region())
+}
+
+// TestMonitorApplyEvents checks the public batch path: same handles and a
+// byte-identical region vs one-at-a-time application, batch atomicity on a
+// bad event, and departures of same-batch arrivals.
+func TestMonitorApplyEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ps, us := fixture(rng, 150, 12, 3, 4)
+	const m = 6
+	batch, err := NewMonitor(ps, us, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewMonitor(ps, us, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newbies := fixture(rng, 1, 3, 3, 4)
+	events := []MonitorEvent{
+		Arrival(newbies[0]),
+		Departure(3),
+		Arrival(newbies[1]),
+		Departure(12), // the first arrival in this very batch
+		Arrival(newbies[2]),
+		Departure(7),
+	}
+	handles, err := batch.ApplyEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHandles := []int{12, -1, 13, -1, 14, -1}
+	for i := range wantHandles {
+		if handles[i] != wantHandles[i] {
+			t.Fatalf("handles = %v, want %v", handles, wantHandles)
+		}
+	}
+	for _, ev := range events {
+		if ev.Arrive {
+			if _, err := seq.UserArrived(ev.User); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := seq.UserDeparted(ev.Handle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertRegionsIdentical(t, "batch vs sequential", seq.Region(), batch.Region())
+	if batch.NumUsers() != seq.NumUsers() {
+		t.Fatalf("NumUsers %d vs %d", batch.NumUsers(), seq.NumUsers())
+	}
+
+	// Atomicity: a bad event anywhere rejects the whole batch untouched.
+	before := batch.Region()
+	users, next := batch.NumUsers(), batch.NextHandle()
+	if _, err := batch.ApplyEvents([]MonitorEvent{
+		Arrival(newbies[0]),
+		Departure(999),
+	}); err == nil {
+		t.Fatal("batch with bad departure accepted")
+	}
+	if batch.NumUsers() != users || batch.NextHandle() != next {
+		t.Fatalf("failed batch mutated state: users %d->%d next %d->%d",
+			users, batch.NumUsers(), next, batch.NextHandle())
+	}
+	assertRegionsIdentical(t, "after rejected batch", before, batch.Region())
+	if h, err := batch.ApplyEvents(nil); err != nil || h != nil {
+		t.Fatalf("empty batch: handles %v err %v", h, err)
+	}
+}
+
+// TestMonitorSnapshot checks that snapshots answer from capture-time
+// state, stay coherent while the Monitor churns, and agree with the
+// Monitor's own queries at capture time.
+func TestMonitorSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ps, us := fixture(rng, 120, 10, 3, 4)
+	const m = 5
+	mo, err := NewMonitor(ps, us, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mo.Snapshot()
+	if snap.NumUsers() != mo.NumUsers() {
+		t.Fatalf("snapshot NumUsers %d, monitor %d", snap.NumUsers(), mo.NumUsers())
+	}
+	assertRegionsIdentical(t, "snapshot vs monitor", mo.Region(), snap.Region())
+	probes := make([][]float64, 40)
+	wantCov := make([]int, len(probes))
+	for i := range probes {
+		probes[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		wantCov[i] = mo.Coverage(probes[i])
+		if snap.Coverage(probes[i]) != wantCov[i] {
+			t.Fatalf("snapshot coverage disagrees at capture time")
+		}
+	}
+	wantInfl := snap.MostInfluential(5)
+	wantGap := snap.MinBoundaryGap(probes[0])
+
+	// Churn the monitor; the snapshot must not move.
+	for i := 0; i < 5; i++ {
+		_, newbies := fixture(rng, 1, 1, 3, 3)
+		if _, err := mo.UserArrived(newbies[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := mo.UserDeparted(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range probes {
+		if got := snap.Coverage(p); got != wantCov[i] {
+			t.Fatalf("snapshot coverage drifted at probe %d: %d vs %d", i, got, wantCov[i])
+		}
+	}
+	gotInfl := snap.MostInfluential(5)
+	for i := range wantInfl {
+		if gotInfl[i] != wantInfl[i] {
+			t.Fatalf("snapshot influence drifted: %v vs %v", gotInfl, wantInfl)
+		}
+	}
+	if got := snap.MinBoundaryGap(probes[0]); got != wantGap {
+		t.Fatalf("snapshot boundary gap drifted: %v vs %v", got, wantGap)
+	}
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mir/internal/geom"
 	"mir/internal/par"
@@ -184,9 +185,10 @@ func (inst *Instance) CountCovering(p geom.Vector) int {
 // MinBoundaryGap returns the smallest |w_i·p - t_i| over all users: the
 // distance (in score units) of p from the nearest top-k entry boundary.
 // Sampling-based tests use it to skip points too close to a boundary for
-// float comparisons to be meaningful.
+// float comparisons to be meaningful. With no users there is no boundary
+// and the gap is +Inf (the identity of min).
 func (inst *Instance) MinBoundaryGap(p geom.Vector) float64 {
-	best := 1e18
+	best := math.Inf(1)
 	for _, h := range inst.HS {
 		g := h.Eval(p)
 		if g < 0 {

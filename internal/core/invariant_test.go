@@ -113,6 +113,11 @@ func TestCountInvariantAfterMaintenance(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Every removal must have found its user pending or cleanly decided;
+	// a recorded desync means the counts below are already suspect.
+	if n := mt.run.st.CountDesyncs; n != 0 {
+		t.Fatalf("maintenance churn recorded %d count desyncs", n)
+	}
 	// The audit must run over alive users only.
 	run := mt.run
 	for _, leaf := range run.tr.Leaves(nil, nil) {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/pprof"
 
 	"mir/internal/celltree"
@@ -93,9 +94,11 @@ func (mt *Maintainer) CountCovering(p geom.Vector) int {
 	return n
 }
 
-// MinBoundaryGap mirrors Instance.MinBoundaryGap over alive users.
+// MinBoundaryGap mirrors Instance.MinBoundaryGap over alive users. With
+// no users alive there is no boundary, so the gap is +Inf (the identity
+// of min), never a finite sentinel a caller could mistake for a distance.
 func (mt *Maintainer) MinBoundaryGap(p geom.Vector) float64 {
-	best := 1e18
+	best := math.Inf(1)
 	for i, h := range mt.run.inst.HS {
 		if !mt.alive[i] {
 			continue
@@ -243,10 +246,16 @@ func (mt *Maintainer) stripUser(idx int, h geom.Halfspace) {
 				leaf.InCount--
 			case geom.Excludes:
 				leaf.OutCount--
+			case geom.Cuts:
+				// A cutting halfspace means the user was never absorbed
+				// into this leaf's counts — it should have been pending.
+				// The counts are left untouched (there is nothing sound
+				// to undo), but the desync is recorded: invariant tests
+				// fail on a nonzero counter instead of letting
+				// InCount/OutCount drift silently from the alive
+				// population.
+				mt.run.st.CountDesyncs++
 			}
-			// A Cuts answer would mean the user was never counted (it
-			// should then have been pending); tolerate it silently — the
-			// leaf's counts are left untouched.
 		}
 		// Re-verify decisions that removal can break.
 		if leaf.Status == celltree.Reported && leaf.InCount < mt.m {
@@ -256,6 +265,277 @@ func (mt *Maintainer) stripUser(idx int, h geom.Halfspace) {
 			}
 		}
 	}
+}
+
+// NextHandle returns the handle the next successful arrival will receive
+// (handles are append-only; removed slots are tombstoned, never reused).
+// An ingest layer queueing arrivals can therefore predict handles at
+// enqueue time: with every event funneled through one FIFO queue, the
+// i-th queued arrival gets NextHandle()+i.
+func (mt *Maintainer) NextHandle() int { return len(mt.users) }
+
+// EventKind discriminates the population events of a maintenance batch.
+type EventKind uint8
+
+const (
+	// EventArrive registers Event.User as a new population member.
+	EventArrive EventKind = iota
+	// EventDepart retires the user with handle Event.Handle.
+	EventDepart
+)
+
+// Event is one population change in an ApplyBatch sequence.
+type Event struct {
+	Kind   EventKind
+	User   topk.UserPref // arrival payload (EventArrive)
+	Handle int           // departure target (EventDepart)
+}
+
+// batchOp is an event in staged form: an arrival's singleton pending
+// group or a departure's influential halfspace, plus the population size
+// right after the event.
+type batchOp struct {
+	arrive bool
+	idx    int
+	g      *Group
+	h      geom.Halfspace
+	nAlive int
+}
+
+// ApplyBatch applies a sequence of arrivals and departures in one
+// maintenance pass and returns one handle per event (the arrival's new
+// handle, -1 for departures). The batch is atomic on error: every event
+// is validated up front against the population as it evolves through the
+// sequence (a departure may target an arrival earlier in the same batch),
+// and an invalid event rejects the whole batch with the Maintainer
+// untouched.
+//
+// The batch is coalesced, never reordered: the resulting arrangement —
+// cells, counts, and the exported region — is byte-identical to applying
+// the same events one at a time through AddUser/RemoveUser, for every
+// worker count and group-choice strategy. The construction guarantees
+// this rather than approximating it:
+//
+//   - Staging is fused. One sweep over the current leaves replays the
+//     whole event sequence against each leaf (one payload clone per leaf
+//     instead of one per leaf per event). This is sound because a decided
+//     leaf's pending list is unobservable until the leaf is re-verified,
+//     and per-leaf staging is a pure fold over the event sequence.
+//   - Re-verification is bucketed by event. A leaf whose decision event e
+//     breaks (a report demoted by a departure, an elimination revived by
+//     an arrival) stops staging at e. Buckets then drain in event order:
+//     each drain re-enumerates the tree in leaf order — reproducing the
+//     push order of the sequential per-event sweep, which the round-robin
+//     ablation strategy is sensitive to — and runs with the event-e
+//     population and exactly the events 0..e applied to every cell it
+//     touches: precisely the state the sequential drain for event e ran
+//     under. Leaves produced or re-decided by a drain resume staging at
+//     e+1, so every leaf sees every event exactly once.
+//
+// Cell processing commutes across independent cells (see processCell), so
+// the only counter that may differ from the one-at-a-time path is the
+// scheduling-sensitive Stats.MaxFrontier.
+func (mt *Maintainer) ApplyBatch(events []Event) ([]int, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	// Validate the whole batch before mutating anything, simulating the
+	// population overlay (arrivals and departures earlier in the batch).
+	handles := make([]int, len(events))
+	nAfter := make([]int, len(events))
+	var born, dead map[int]bool
+	next := len(mt.users)
+	n := mt.nAlive
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventArrive:
+			if len(ev.User.W) != mt.dim {
+				return nil, fmt.Errorf("%w: event %d: new user has %d weights, want %d",
+					ErrDimMismatch, i, len(ev.User.W), mt.dim)
+			}
+			if ev.User.K < 1 || ev.User.K > len(mt.products) {
+				return nil, fmt.Errorf("%w: event %d: new user has k=%d (|P|=%d)",
+					ErrBadK, i, ev.User.K, len(mt.products))
+			}
+			if born == nil {
+				born = make(map[int]bool)
+			}
+			handles[i] = next
+			born[next] = true
+			next++
+			n++
+		case EventDepart:
+			hd := ev.Handle
+			present := hd >= 0 && ((hd < len(mt.users) && mt.alive[hd]) || born[hd]) && !dead[hd]
+			if !present {
+				return nil, fmt.Errorf("core: event %d: user %d not present", i, hd)
+			}
+			if dead == nil {
+				dead = make(map[int]bool)
+			}
+			dead[hd] = true
+			handles[i] = -1
+			n--
+		default:
+			return nil, fmt.Errorf("core: event %d: unknown event kind %d", i, ev.Kind)
+		}
+		nAfter[i] = n
+	}
+
+	// Register arrivals (thresholds answered in event order, so the search
+	// counters accumulate exactly as per-event AddUser calls would) and
+	// capture departures' halfspaces. The instance arrays are append-only
+	// and nothing reads a user's row before its arrival event is staged,
+	// so appending all arrivals up front is equivalent to interleaving.
+	inst := mt.run.inst
+	ops := make([]batchOp, len(events))
+	for i, ev := range events {
+		if ev.Kind != EventArrive {
+			continue
+		}
+		u := ev.User
+		var kth topk.KthResult
+		if mt.search != nil {
+			mt.search.Stats = topk.SearchStats{}
+			kth = mt.search.Kth(u.W, u.K)
+			mt.run.st.ScannedProducts += mt.search.Stats.ScannedProducts
+			mt.run.st.LayerPrunes += mt.search.Stats.LayerPrunes
+		} else {
+			kth = topk.KthScore(mt.products, u.W, u.K)
+		}
+		mt.users = append(mt.users, u)
+		mt.alive = append(mt.alive, true)
+		inst.Users = append(inst.Users, u)
+		inst.Kth = append(inst.Kth, kth)
+		inst.HS = append(inst.HS, geom.Halfspace{W: u.W, T: kth.Score})
+		if mt.dim > 1 {
+			inst.WProj = append(inst.WProj, u.W[:mt.dim-1])
+		} else {
+			inst.WProj = append(inst.WProj, u.W)
+		}
+		ops[i] = batchOp{arrive: true, idx: handles[i],
+			g:      &Group{Pivot: kth.Index, R: mt.products[kth.Index], Members: []int{handles[i]}},
+			nAlive: nAfter[i]}
+	}
+	for i, ev := range events {
+		if ev.Kind != EventDepart {
+			continue
+		}
+		mt.alive[ev.Handle] = false
+		ops[i] = batchOp{idx: ev.Handle, h: inst.HS[ev.Handle], nAlive: nAfter[i]}
+	}
+	mt.nAlive = nAfter[len(events)-1]
+
+	// stage replays events from..end against one leaf, cloning its payload
+	// on first mutation and stopping (bucketed for re-verification) at the
+	// first event that breaks the leaf's decision.
+	buckets := make([][]*celltree.Cell, len(ops))
+	stage := func(leaf *celltree.Cell, from int) {
+		if leaf.Empty {
+			return
+		}
+		var owned *cellGroups
+		own := func() *cellGroups {
+			if owned == nil {
+				owned = pendingOf(leaf).clone()
+				leaf.Payload = owned
+			}
+			return owned
+		}
+		for e := from; e < len(ops); e++ {
+			op := &ops[e]
+			if op.arrive {
+				cg := own()
+				cg.views = append(cg.views, newView(op.g))
+				if leaf.Status == celltree.Eliminated && op.nAlive-leaf.OutCount >= mt.m {
+					buckets[e] = append(buckets[e], leaf)
+					return
+				}
+				continue
+			}
+			// Departure: replay stripUser's per-leaf step. The search runs
+			// on the current list; the clone preserves order, so the found
+			// positions stay valid on it.
+			cur := pendingOf(leaf)
+			stripped := false
+			for vi, v := range cur.views {
+				pos := -1
+				for pi, ui := range v.members {
+					if ui == op.idx {
+						pos = pi
+						break
+					}
+				}
+				if pos < 0 {
+					continue
+				}
+				stripped = true
+				cg := own()
+				if len(v.members) == 1 {
+					cg.remove(vi)
+				} else {
+					cg.views[vi] = v.withMembers(dropTwo(v.members, pos, pos))
+				}
+				break
+			}
+			if !stripped {
+				switch leaf.Classify(op.h, !mt.opts.DisableFastTest) {
+				case geom.Covers:
+					leaf.InCount--
+				case geom.Excludes:
+					leaf.OutCount--
+				case geom.Cuts:
+					mt.run.st.CountDesyncs++
+				}
+			}
+			if leaf.Status == celltree.Reported && leaf.InCount < mt.m {
+				buckets[e] = append(buckets[e], leaf)
+				return
+			}
+		}
+	}
+
+	pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
+		for _, leaf := range mt.run.tr.Leaves(nil, nil) {
+			stage(leaf, 0)
+		}
+	})
+	var sub []*celltree.Cell
+	for e := range ops {
+		cells := buckets[e]
+		if len(cells) == 0 {
+			continue
+		}
+		fired := make(map[*celltree.Cell]bool, len(cells))
+		for _, c := range cells {
+			fired[c] = true
+		}
+		mt.run.nU = ops[e].nAlive
+		// Push in current leaf order — the order the per-event sweep would
+		// have used — not bucket-append order.
+		for _, leaf := range mt.run.tr.Leaves(nil, nil) {
+			if !fired[leaf] {
+				continue
+			}
+			mt.run.tr.Reactivate(leaf)
+			if !mt.run.seq.verify(leaf) {
+				mt.run.heap.Push(leaf, mt.run.priority(leaf))
+			}
+		}
+		mt.run.drain()
+		if e+1 < len(ops) {
+			pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
+				for _, c := range cells {
+					sub = mt.run.tr.Leaves(c, sub[:0])
+					for _, leaf := range sub {
+						stage(leaf, e+1)
+					}
+				}
+			})
+		}
+	}
+	mt.run.nU = mt.nAlive
+	return handles, nil
 }
 
 // pendingOf returns the leaf's pending group list (empty when absent).

@@ -123,6 +123,13 @@ type Stats struct {
 	LayerPrunes     int64
 	IndexPatches    int64
 	IndexRebuilds   int64
+	// CountDesyncs counts the removals of a user some leaf believed decided
+	// but whose halfspace then classified as cutting that leaf — an
+	// accounting desynchronization between a cell's InCount/OutCount and
+	// the alive population. It must stay zero: the invariant tests fail
+	// when it doesn't, and a nonzero value means the affected leaf's counts
+	// were left untouched (the removal had nothing sound to undo).
+	CountDesyncs int64
 	// StealCount counts successful frontier steals and MaxFrontier is the
 	// high-water mark of in-flight cells. Unlike every counter above, the
 	// two are scheduling-sensitive at Workers > 1 (they vary run to run)

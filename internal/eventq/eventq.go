@@ -1,0 +1,120 @@
+// Package eventq provides the bounded coalescing event queue behind the
+// standing daemon's ingest path. Producers (HTTP handlers) enqueue
+// population events without blocking; a single consumer drains whatever
+// has accumulated since its last visit in one call and applies the whole
+// burst as one maintenance pass. The bound is the backpressure mechanism:
+// when maintenance falls behind the arrival rate the ring fills, Enqueue
+// reports ErrFull, and the ingest layer surfaces 429 + Retry-After
+// instead of buffering without limit.
+package eventq
+
+import (
+	"errors"
+	"sync"
+)
+
+// Errors returned by Enqueue.
+var (
+	// ErrFull means the ring is at capacity: the consumer is behind.
+	// Retryable — capacity frees as soon as the consumer drains.
+	ErrFull = errors.New("eventq: queue full")
+	// ErrClosed means the queue was closed; no further events are
+	// accepted. Not retryable.
+	ErrClosed = errors.New("eventq: queue closed")
+)
+
+// Queue is a bounded MPSC ring buffer with burst draining. Any number of
+// goroutines may Enqueue; one consumer calls Drain in a loop. All methods
+// are safe for concurrent use (a single mutex guards the ring — events
+// are small and drains move whole bursts, so the critical sections stay
+// short).
+//
+// The zero Queue is not ready; use New.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	nonEmp sync.Cond // signaled when the ring gains an element or closes
+	buf    []T
+	head   int // index of the oldest element
+	n      int // number of elements
+	closed bool
+}
+
+// New returns a queue holding at most capacity elements. It panics if
+// capacity < 1.
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		panic("eventq: capacity must be at least 1")
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.nonEmp.L = &q.mu
+	return q
+}
+
+// Cap returns the queue's fixed capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Enqueue appends ev to the ring. It never blocks: when the ring is at
+// capacity it returns ErrFull immediately (the caller's backpressure
+// signal), and after Close it returns ErrClosed.
+func (q *Queue[T]) Enqueue(ev T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.n == len(q.buf) {
+		return ErrFull
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = ev
+	q.n++
+	if q.n == 1 {
+		q.nonEmp.Signal()
+	}
+	return nil
+}
+
+// Drain blocks until at least one element is queued (or the queue is
+// closed), then removes and returns the entire accumulated burst in
+// arrival order, appended to dst. The second result is false only when
+// the queue is closed AND empty — the consumer's signal to exit after it
+// has applied everything. Drain is written for a single consumer; the
+// burst semantics (everything since the last visit, in order) are only
+// meaningful with one drainer.
+func (q *Queue[T]) Drain(dst []T) ([]T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if q.n == 0 {
+		return dst, false
+	}
+	var zero T
+	for i := 0; i < q.n; i++ {
+		j := (q.head + i) % len(q.buf)
+		dst = append(dst, q.buf[j])
+		q.buf[j] = zero // release references held by vacated slots
+	}
+	q.head, q.n = 0, 0
+	return dst, true
+}
+
+// Close stops the queue: subsequent Enqueues fail with ErrClosed, while
+// Drain keeps returning queued elements until the ring is empty and then
+// reports done. Closing twice is a no-op.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.nonEmp.Broadcast()
+}

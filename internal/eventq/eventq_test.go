@@ -1,0 +1,219 @@
+package eventq
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEnqueueDrainOrder(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	got, ok := q.Drain(nil)
+	if !ok || len(got) != 5 {
+		t.Fatalf("Drain = %v, %v", got, ok)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	q := New[int](4)
+	next, want := 0, 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Enqueue(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		burst, ok := q.Drain(nil)
+		if !ok {
+			t.Fatal("Drain reported done on open queue")
+		}
+		for _, v := range burst {
+			if v != want {
+				t.Fatalf("round %d: got %d, want %d", round, v, want)
+			}
+			want++
+		}
+	}
+	if want != next {
+		t.Fatalf("drained %d of %d", want, next)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	q := New[int](3)
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Enqueue(99); err != ErrFull {
+		t.Fatalf("overfull Enqueue = %v, want ErrFull", err)
+	}
+	// Draining frees the whole capacity again.
+	if _, ok := q.Drain(nil); !ok {
+		t.Fatal("Drain failed")
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+	}
+}
+
+func TestDrainBlocksUntilEnqueue(t *testing.T) {
+	q := New[string](2)
+	done := make(chan []string)
+	go func() {
+		burst, ok := q.Drain(nil)
+		if !ok {
+			t.Error("Drain reported done")
+		}
+		done <- burst
+	}()
+	select {
+	case <-done:
+		t.Fatal("Drain returned with nothing queued")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := q.Enqueue("x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case burst := <-done:
+		if len(burst) != 1 || burst[0] != "x" {
+			t.Fatalf("burst = %v", burst)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not wake")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := New[int](4)
+	if err := q.Enqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.Enqueue(2); err != ErrClosed {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	// Queued elements still drain after Close...
+	burst, ok := q.Drain(nil)
+	if !ok || len(burst) != 1 || burst[0] != 1 {
+		t.Fatalf("post-close Drain = %v, %v", burst, ok)
+	}
+	// ...and only then does Drain report done.
+	if burst, ok := q.Drain(nil); ok || len(burst) != 0 {
+		t.Fatalf("empty closed Drain = %v, %v", burst, ok)
+	}
+}
+
+func TestCloseWakesBlockedDrain(t *testing.T) {
+	q := New[int](1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Drain(nil)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Drain on closed empty queue reported more work")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake Drain")
+	}
+}
+
+// TestConcurrentProducers hammers Enqueue from many goroutines against
+// one draining consumer (run under -race in CI): every successfully
+// enqueued value must be drained exactly once, and per-producer order
+// must be preserved in the drained stream.
+func TestConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 8, 500
+	q := New[[2]int](64)
+	var wg sync.WaitGroup
+	sent := make([]int, producers) // successful sends per producer
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for {
+					err := q.Enqueue([2]int{p, i})
+					if err == nil {
+						sent[p]++
+						break
+					}
+					if err != ErrFull {
+						t.Errorf("producer %d: %v", p, err)
+						return
+					}
+					time.Sleep(time.Microsecond) // backpressure: retry
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+
+	lastSeen := make([]int, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	got := 0
+	var buf [][2]int
+	for {
+		var more bool
+		buf, more = q.Drain(buf[:0])
+		for _, ev := range buf {
+			p, i := ev[0], ev[1]
+			if i <= lastSeen[p] {
+				t.Fatalf("producer %d: saw %d after %d", p, i, lastSeen[p])
+			}
+			lastSeen[p] = i
+			got++
+		}
+		if !more {
+			break
+		}
+	}
+	want := 0
+	for _, n := range sent {
+		want += n
+	}
+	if got != want || got != producers*perProducer {
+		t.Fatalf("drained %d events, sent %d, expected %d", got, want, producers*perProducer)
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}

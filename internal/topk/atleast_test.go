@@ -1,0 +1,202 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mir/internal/geom"
+)
+
+func randProducts(rng *rand.Rand, n, d int) []geom.Vector {
+	ps := make([]geom.Vector, n)
+	for i := range ps {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		ps[i] = v
+	}
+	return ps
+}
+
+func randWeight(rng *rand.Rand, d int) geom.Vector {
+	w := make(geom.Vector, d)
+	s := 0.0
+	for j := range w {
+		w[j] = rng.Float64() + 1e-3
+		s += w[j]
+	}
+	for j := range w {
+		w[j] /= s
+	}
+	return w
+}
+
+// naiveAtLeast is the reference predicate set, in ascending id order.
+func naiveAtLeast(ps []geom.Vector, alive []bool, w geom.Vector, t float64) []int {
+	var out []int
+	for i, p := range ps {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		if w.Dot(p) >= t {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestAtLeastMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 17, 300, 1500} {
+		for _, d := range []int{2, 4} {
+			ps := randProducts(rng, n, d)
+			ix := NewIndex(ps)
+			s := NewSearcher(ix)
+			for trial := 0; trial < 20; trial++ {
+				w := randWeight(rng, d)
+				// Thresholds spanning none..all of the product set.
+				th := []float64{-1, 0.2, 0.5, 0.7, 2}
+				for _, t0 := range th {
+					got := append([]int(nil), s.AtLeast(w, t0, nil)...)
+					sort.Ints(got)
+					want := naiveAtLeast(ps, nil, w, t0)
+					if len(got) != len(want) {
+						t.Fatalf("n=%d d=%d t=%g: got %d ids, want %d", n, d, t0, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("n=%d d=%d t=%g: id[%d]=%d, want %d", n, d, t0, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAtLeastNegativeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ps := randProducts(rng, 400, 3)
+	ix := NewIndex(ps)
+	s := NewSearcher(ix)
+	w := geom.Vector{0.5, -0.3, 0.8}
+	got := s.AtLeast(w, 0.1, nil)
+	sort.Ints(got)
+	want := naiveAtLeast(ps, nil, w, 0.1)
+	if len(got) != len(want) {
+		t.Fatalf("negative weights: got %d ids, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("negative weights: id[%d]=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAtLeastAfterPatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randProducts(rng, 600, 3)
+	ix := NewIndex(ps)
+	alive := make([]bool, len(ps))
+	for i := range alive {
+		alive[i] = true
+	}
+	// Interleave removals and insertions, checking the scan after each.
+	s := NewSearcher(ix)
+	for step := 0; step < 30; step++ {
+		if step%3 == 2 {
+			v := make(geom.Vector, 3)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			id := ix.Insert(v)
+			ps = append(ps, v)
+			alive = append(alive, true)
+			if id != len(ps)-1 {
+				t.Fatalf("insert id %d, want %d", id, len(ps)-1)
+			}
+		} else {
+			for {
+				id := rng.Intn(len(ps))
+				if alive[id] {
+					ix.Remove(id)
+					alive[id] = false
+					break
+				}
+			}
+		}
+		w := randWeight(rng, 3)
+		got := append([]int(nil), s.AtLeast(w, 0.45, nil)...)
+		sort.Ints(got)
+		want := naiveAtLeast(ps, alive, w, 0.45)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: got %d ids, want %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: id[%d]=%d, want %d", step, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAtLeastPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ps := randProducts(rng, 4000, 3)
+	ix := NewIndex(ps)
+	s := NewSearcher(ix)
+	w := randWeight(rng, 3)
+	s.Stats = SearchStats{}
+	s.AtLeast(w, 0.9, nil)
+	if s.Stats.LayerPrunes == 0 {
+		t.Fatalf("high threshold over 4000 products pruned no blocks (scanned %d rows)", s.Stats.ScannedProducts)
+	}
+	if s.Stats.ScannedProducts >= int64(len(ps)) {
+		t.Fatalf("scanned %d rows of %d: no block skipped", s.Stats.ScannedProducts, len(ps))
+	}
+}
+
+func TestSelectTop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(7)) // heavy ties
+		}
+		for _, k := range []int{0, 1, n / 2, n, n + 5} {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			got := SelectTop(idx, scores, k)
+			ref := make([]int, n)
+			for i := range ref {
+				ref[i] = i
+			}
+			sort.Slice(ref, func(a, b int) bool {
+				if scores[ref[a]] != scores[ref[b]] {
+					return scores[ref[a]] > scores[ref[b]]
+				}
+				return ref[a] < ref[b]
+			})
+			want := k
+			if want > n {
+				want = n
+			}
+			if want < 0 {
+				want = 0
+			}
+			if len(got) != want {
+				t.Fatalf("k=%d n=%d: got %d entries", k, n, len(got))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("k=%d n=%d: entry %d = %d, want %d", k, n, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

@@ -722,6 +722,66 @@ func (s *Searcher) scanBlock(ly *indexLayer, b int, w geom.Vector, k int, full b
 	return full
 }
 
+// AtLeast appends to dst the ids of every live product whose score w·p
+// reaches at least t and returns the extended slice — the threshold scan
+// behind reverse-influence queries (a product covers a user exactly when
+// it scores at least the user's top-k entry threshold). Whole blocks are
+// skipped when their componentwise-maxima bound falls below t; bounds and
+// scores use the same dot kernel and maxima only round monotonically, so
+// no product with score >= t is ever pruned and the result is exactly the
+// predicate set, byte-identical to a full scan. For weight vectors with a
+// negative component the bounds are invalid, so pruning is disabled and
+// every block is scanned. Output order is layer/row order, not sorted.
+// Skipped blocks count into Stats.LayerPrunes, scored rows into
+// Stats.ScannedProducts.
+func (s *Searcher) AtLeast(w geom.Vector, t float64, dst []int) []int {
+	ix := s.ix
+	if len(w) != ix.dim {
+		panic(fmt.Sprintf("topk: index query with %d weights, want %d", len(w), ix.dim))
+	}
+	canPrune := true
+	for _, x := range w {
+		if x < 0 {
+			canPrune = false
+			break
+		}
+	}
+	d := ix.dim
+	for _, ly := range ix.layers {
+		nb := len(ly.blockMax)
+		for sb, sm := range ly.superMax {
+			lo := sb * (superRows / blockRows)
+			hi := lo + superRows/blockRows
+			if hi > nb {
+				hi = nb
+			}
+			if canPrune && w.Dot(geom.Vector(sm)) < t {
+				s.Stats.LayerPrunes += int64(hi - lo)
+				continue
+			}
+			for b := lo; b < hi; b++ {
+				if canPrune && w.Dot(geom.Vector(ly.blockMax[b])) < t {
+					s.Stats.LayerPrunes++
+					continue
+				}
+				rlo, rhi := b*blockRows, (b+1)*blockRows
+				if n := ly.rows(); rhi > n {
+					rhi = n
+				}
+				out := s.scores[:rhi-rlo]
+				geom.DotRows(ly.flat[rlo*d:rhi*d], d, w, out)
+				s.Stats.ScannedProducts += int64(rhi - rlo)
+				for i, sc := range out {
+					if sc >= t {
+						dst = append(dst, ly.ids[rlo+i])
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // granuleSiftDown restores the bound queue's heap order below position i
 // (best granule at the root).
 func granuleSiftDown(q []granuleRef, i int) {

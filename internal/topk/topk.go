@@ -47,6 +47,21 @@ func TopK(products []geom.Vector, w geom.Vector, k int) []int {
 		idx[i] = i
 		scores[i] = w.Dot(p)
 	}
+	return SelectTop(idx, scores, k)
+}
+
+// SelectTop partitions idx in place and returns its k best entries under
+// the engine-wide ranking (scores[i] descending, index ascending), sorted
+// in that order. It is the shared partial-selection primitive behind TopK
+// and the reverse-influence queries: O(n + k log k) instead of a full
+// sort. k is clamped to len(idx); k <= 0 returns an empty prefix.
+func SelectTop(idx []int, scores []float64, k int) []int {
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k <= 0 {
+		return idx[:0]
+	}
 	partialSelect(idx, scores, k)
 	top := idx[:k]
 	sort.Slice(top, func(a, b int) bool {

@@ -123,6 +123,11 @@ type Stats struct {
 	LayerPrunes     int64
 	IndexPatches    int64
 	IndexRebuilds   int64
+	// CountDesyncs counts user removals the maintained arrangement could
+	// not account for: the departing user was neither pending nor cleanly
+	// classified on some leaf. It must stay zero; a nonzero value signals
+	// cell counts drifting from the alive population.
+	CountDesyncs int64
 	// StealCount and MaxFrontier profile the task-parallel frontier
 	// scheduler (zero for sequential runs). Unlike the counters above they
 	// are scheduling-sensitive: they vary run to run at Workers > 1.
@@ -151,6 +156,7 @@ func (r *Region) Stats() Stats {
 		LayerPrunes:      s.LayerPrunes,
 		IndexPatches:     s.IndexPatches,
 		IndexRebuilds:    s.IndexRebuilds,
+		CountDesyncs:     s.CountDesyncs,
 		StealCount:       s.StealCount,
 		MaxFrontier:      s.MaxFrontier,
 	}

@@ -2,7 +2,9 @@ package mir
 
 import (
 	"fmt"
-	"sort"
+
+	"mir/internal/geom"
+	"mir/internal/topk"
 )
 
 // ReverseTopK returns the users covered by the product at productIndex —
@@ -35,6 +37,16 @@ type Influence struct {
 // sets (ties broken toward the smaller index) — the "most influential
 // data objects" query of the reverse top-k literature, answered here from
 // the mIR preprocessing.
+// Coverage descends, ties break toward the smaller index.
+//
+// When the instance carries the layered top-k index, counting runs
+// user-major through Searcher.AtLeast — each user's influential products
+// are exactly {p : w·p >= t_i - Eps}, so the index enumerates them with
+// superblock/block bound pruning instead of |P|·|U| dot products. The
+// index threshold is slackened by an extra Eps and every hit rechecked
+// with the halfspace's own Contains, so the counts (and therefore the
+// returned ranking) are byte-identical to the scan fallback regardless of
+// rounding differences between the two evaluation orders.
 func (a *Analyzer) MostInfluential(n int) []Influence {
 	if n > len(a.inst.Products) {
 		n = len(a.inst.Products)
@@ -42,23 +54,41 @@ func (a *Analyzer) MostInfluential(n int) []Influence {
 	if n <= 0 {
 		return nil
 	}
-	// Only skyband members can cover anyone beyond their own threshold
-	// position; still, coverage counting is cheapest done directly.
-	infl := make([]Influence, len(a.inst.Products))
-	for pi, p := range a.inst.Products {
-		cnt := 0
+	counts := make([]int, len(a.inst.Products))
+	if ix := a.inst.TopKIndex; ix != nil {
+		// A Searcher is not safe for concurrent use and Analyzer is
+		// documented concurrent-safe, so allocate one per call. The
+		// instance never patches its index, so index ids are product
+		// indices.
+		s := topk.NewSearcher(ix)
+		var buf []int
 		for _, h := range a.inst.HS {
-			if h.Contains(p) {
-				cnt++
+			buf = s.AtLeast(h.W, h.T-2*geom.Eps, buf[:0])
+			for _, pi := range buf {
+				if h.Contains(a.inst.Products[pi]) {
+					counts[pi]++
+				}
 			}
 		}
-		infl[pi] = Influence{ProductIndex: pi, Coverage: cnt}
-	}
-	sort.Slice(infl, func(x, y int) bool {
-		if infl[x].Coverage != infl[y].Coverage {
-			return infl[x].Coverage > infl[y].Coverage
+	} else {
+		for pi, p := range a.inst.Products {
+			for _, h := range a.inst.HS {
+				if h.Contains(p) {
+					counts[pi]++
+				}
+			}
 		}
-		return infl[x].ProductIndex < infl[y].ProductIndex
-	})
-	return infl[:n]
+	}
+	idx := make([]int, len(counts))
+	scores := make([]float64, len(counts))
+	for i, c := range counts {
+		idx[i] = i
+		scores[i] = float64(c)
+	}
+	top := topk.SelectTop(idx, scores, n)
+	out := make([]Influence, len(top))
+	for i, pi := range top {
+		out[i] = Influence{ProductIndex: pi, Coverage: counts[pi]}
+	}
+	return out
 }
