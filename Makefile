@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-hammer mird-smoke bench-smoke bench bench-json bench-topk bench-check ci
+.PHONY: all vet build test race race-hammer mird-smoke bench-smoke bench bench-json bench-topk bench-dyn bench-check ci
 
 all: ci
 
@@ -58,6 +58,13 @@ bench-json:
 bench-topk:
 	$(GO) run ./cmd/mirbench -json-topk BENCH_TOPK.json
 
+# Machine-readable dynamic-maintenance matrix for the standing path
+# (sustained events/sec and touched-leaves/event under session streams,
+# per dataset, user tier, worker count, and routing mode). The committed
+# copy is the reference point for locality regressions.
+bench-dyn:
+	$(GO) run ./cmd/mirbench -json-dyn BENCH_DYN.json
+
 # Regenerate both matrices to scratch paths and gate them against the
 # committed references: fails if any workers=1 AA row allocates more than
 # 10% over BENCH_AA.json or runs more than 10% more simplex pivots/op
@@ -65,9 +72,16 @@ bench-topk:
 # pure headroom; the pivot gate catches warm starts silently going cold),
 # or if any indexed all-top-k cell scans more than 10% more products/user
 # than BENCH_TOPK.json, or if the aggregate scan reduction over the
-# full-skyband path drops below 5x. Wall times never gate.
+# full-skyband path drops below 5x, or if any dynamic-maintenance row
+# touches more than 10% more leaves/event than BENCH_DYN.json, loses more
+# than 10% events/sec at workers=1, or lets the routed/sweep locality
+# ratio on the largest user tier drop below 5x. Wall times never gate,
+# with the one deliberate exception of the standing events/sec floor —
+# that number is the tentpole's contract. (touched-leaves/event is
+# deterministic per configuration, so its margin is pure headroom.)
 bench-check:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.ci.json -baseline BENCH_AA.json
 	$(GO) run ./cmd/mirbench -json-topk BENCH_TOPK.ci.json -baseline-topk BENCH_TOPK.json
+	$(GO) run ./cmd/mirbench -json-dyn BENCH_DYN.ci.json -baseline-dyn BENCH_DYN.json
 
 ci: vet build race race-hammer mird-smoke bench-smoke

@@ -1,0 +1,397 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mir/internal/core"
+	"mir/internal/data"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// The -json-dyn mode measures the standing (maintained) path the way the
+// -json mode measures preprocessing: a machine-readable matrix of
+// sustained events/sec and touched-leaves/event under mixed
+// arrival/departure streams, per dataset, user tier, worker count, and
+// routing mode. The routed rows exercise the MBB-routed pruned descent;
+// the DisableRouting rows re-measure the historical every-leaf sweep on
+// the same stream and are the locality baseline: their regions are
+// byte-identical (see TestRoutingByteIdentical), so the only difference
+// is how many leaves each event had to visit.
+//
+// The user axis is capped far below the paper's 10^6 stream sizes on
+// purpose: the maintained arrangement is a halfspace arrangement over the
+// *resident* users, and its cell count grows exponentially with |U|
+// (thousands of cells by |U|=160 at d=3 already). The stream length, not
+// the resident population, is the scalable axis of the standing problem —
+// EXPERIMENTS.md documents the scaling protocol. Tiers below keep a full
+// matrix in the minutes range while leaving the largest tier big enough
+// for the >=5x locality gate to be meaningful.
+//
+// The timed section applies one event per ApplyBatch: the standing
+// problem is event-at-a-time maintenance, and per-event cost is exactly
+// what the routed descent makes sublinear (a coalesced batch would let
+// the full sweep amortize its |tree| pass over the whole batch,
+// measuring the daemon's coalescing win rather than routing's). The
+// untimed warmup prefix runs batched: it exists to reach the standing
+// steady state — the arrangement refined against the pool's geometry and
+// the decision proofs mined back to headroom — before measurement
+// starts, and region state is batch-partition-invariant by construction.
+const (
+	dynBenchP     = 2000
+	dynBenchD     = 3
+	dynBenchK     = 10
+	dynBenchSteps = 120               // timed events per stream
+	dynBenchWarm  = 2 * dynBenchSteps // untimed steady-state prefix
+	dynBenchBatch = 12                // warmup events per ApplyBatch
+	dynBenchRuns  = 2                 // timed stream repetitions (fresh maintainer each)
+)
+
+var dynBenchUsers = []int{40, 80, 160}
+
+// dynResult is one (dataset, users, workers, routing) cell.
+type dynResult struct {
+	Dataset  string `json:"dataset"`
+	Products int    `json:"products"`
+	Users    int    `json:"users"` // resident users at stream start
+	Dim      int    `json:"dim"`
+	K        int    `json:"k"`
+	M        int    `json:"m"`
+	Workers  int    `json:"workers"`
+	Routed   bool   `json:"routed"`
+	Events   int    `json:"events"`
+	Warmup   int    `json:"warmup"`
+	Runs     int    `json:"runs"`
+
+	// EventsPerSec is the sustained throughput of the best timed stream
+	// (build excluded; the stream is batched ApplyBatch calls).
+	EventsPerSec float64 `json:"events_per_sec"`
+	// TouchedLeavesPerEvent is the locality metric: RoutedLeaves (leaf
+	// visits charged by event staging) divided by the stream length. It is
+	// deterministic for a fixed configuration and worker count, so — unlike
+	// the wall numbers — it gates CI hard.
+	TouchedLeavesPerEvent float64 `json:"touched_leaves_per_event"`
+	// SkippedSubtreesPerEvent and FrontierPerEvent complete the routing
+	// profile: subtrees proven skippable per event, and leaves bucketed for
+	// re-verification per event (identical routed vs swept by design).
+	SkippedSubtreesPerEvent float64 `json:"skipped_subtrees_per_event"`
+	FrontierPerEvent        float64 `json:"frontier_per_event"`
+	// Cells is the arrangement's cumulative leaf-creation counter after the
+	// stream — the |tree| the sweep pays and the router avoids.
+	Cells      int `json:"cells"`
+	FinalUsers int `json:"final_users"`
+	// CountDesyncs surfaces strip-time accounting wobble at bench scale
+	// (deeply refined cells hugging repeated session halfspaces can flip a
+	// tolerance-thin classification between count and un-count). It is a
+	// shared-path numeric artifact, not a routing one, which is exactly how
+	// it gates: runDynBench fails if the routed and swept rows of the same
+	// configuration ever disagree.
+	CountDesyncs int `json:"count_desyncs"`
+}
+
+// dynReport is the top-level BENCH_DYN.json document.
+type dynReport struct {
+	Command   string      `json:"command"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Seed      int64       `json:"seed"`
+	Results   []dynResult `json:"results"`
+}
+
+// dynScript builds a reproducible session stream over a finite user pool:
+// arrivals bring a random offline pool member back online (same weights
+// and k — a returning user), departures take a random online one, and the
+// population is held within a small band around nU. Both properties are
+// the standing regime, not conveniences. The balance keeps the population
+// near the level m was chosen for: a net-growing stream under a fixed m
+// drags every eliminated cell toward the revival threshold together, the
+// whole arrangement becomes frontier, and the right tool is
+// re-preprocessing, not incremental maintenance. The finite pool keeps
+// the halfspace geometry recurrent: the arrangement refines against the
+// pool once and then converges, the way a stable user base behaves —
+// whereas a stream of never-seen-before preference vectors adds novel
+// cutting planes forever and measures arrangement construction, not
+// maintenance.
+func dynScript(rng *rand.Rand, pool []topk.UserPref, nU, steps int) []core.Event {
+	events := make([]core.Event, 0, steps)
+	online := make([]int, nU)  // pool indices currently resident
+	handles := make([]int, nU) // their maintainer handles, parallel
+	for i := range online {
+		online[i] = i
+		handles[i] = i
+	}
+	offline := make([]int, 0, len(pool)-nU)
+	for i := nU; i < len(pool); i++ {
+		offline = append(offline, i)
+	}
+	next := nU
+	for len(events) < steps {
+		arrive := rng.Intn(2) == 0
+		if len(offline) == 0 || len(online) >= nU+2 {
+			arrive = false
+		} else if len(online) <= nU-2 {
+			arrive = true
+		}
+		if arrive {
+			j := rng.Intn(len(offline))
+			pi := offline[j]
+			offline = append(offline[:j], offline[j+1:]...)
+			u := pool[pi]
+			events = append(events, core.Event{Kind: core.EventArrive,
+				User: topk.UserPref{W: append(geom.Vector(nil), u.W...), K: u.K}})
+			online = append(online, pi)
+			handles = append(handles, next)
+			next++
+		} else {
+			i := rng.Intn(len(online))
+			events = append(events, core.Event{Kind: core.EventDepart, Handle: handles[i]})
+			offline = append(offline, online[i])
+			online = append(online[:i], online[i+1:]...)
+			handles = append(handles[:i], handles[i+1:]...)
+		}
+	}
+	return events
+}
+
+// dynMatrix is the (workers, routing) grid per (dataset, users) point.
+// The swept baseline runs at one worker only: its locality counters are
+// deterministic there, and the worker axis of the swept mode adds cost
+// without information (worker-count identity is property-tested, not
+// benchmarked).
+var dynMatrix = []struct {
+	workers int
+	routed  bool
+}{
+	{1, true},
+	{4, true},
+	{1, false},
+}
+
+// runDynBench measures the dynamic-maintenance matrix and writes the
+// report to path; with a baseline it then gates through checkDynBaseline.
+func runDynBench(cfg config, path, baselinePath string) error {
+	report := dynReport{
+		Command:   "mirbench -json-dyn",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      cfg.seed,
+	}
+	for _, dataset := range []string{"IND", "ANTI"} {
+		for ti, nU := range dynBenchUsers {
+			rng := cfg.rng(int64(211 + ti))
+			ps := cfg.products(dataset, dynBenchP, dynBenchD, rng)
+			// The session pool: nU initial residents plus a 25% offline
+			// reserve drawn from the same clustered population.
+			pool := data.WithK(cfg.users("CL", nU+nU/4, dynBenchD, rng), dynBenchK)
+			us := pool[:nU]
+			events := dynScript(rng, pool, nU, dynBenchWarm+dynBenchSteps)
+			m := nU / 2
+			var desyncRef = -1
+			for _, cell := range dynMatrix {
+				opts := core.Options{Workers: cell.workers, DisableRouting: !cell.routed}
+				res := dynResult{
+					Dataset:  dataset,
+					Products: dynBenchP,
+					Users:    nU,
+					Dim:      dynBenchD,
+					K:        dynBenchK,
+					M:        m,
+					Workers:  cell.workers,
+					Routed:   cell.routed,
+					Events:   dynBenchSteps,
+					Warmup:   dynBenchWarm,
+					Runs:     dynBenchRuns,
+				}
+				best := -1.0
+				for r := 0; r < dynBenchRuns; r++ {
+					// Fresh maintainer per repetition: the stream mutates the
+					// arrangement, so a warm rerun would measure a different
+					// state. The build and the warmup prefix are excluded
+					// from the timed section; counters are snapshotted after
+					// warmup so the profile covers the timed events only.
+					inst, err := core.NewInstanceOpts(ps, append([]topk.UserPref(nil), us...), opts)
+					if err != nil {
+						return fmt.Errorf("%s |U|=%d: %w", dataset, nU, err)
+					}
+					mt, err := core.NewMaintainer(inst, m, opts)
+					if err != nil {
+						return fmt.Errorf("%s |U|=%d: %w", dataset, nU, err)
+					}
+					for lo := 0; lo < dynBenchWarm; lo += dynBenchBatch {
+						hi := lo + dynBenchBatch
+						if hi > dynBenchWarm {
+							hi = dynBenchWarm
+						}
+						if _, err := mt.ApplyBatch(events[lo:hi]); err != nil {
+							return fmt.Errorf("%s |U|=%d routed=%v: warmup [%d,%d): %w",
+								dataset, nU, cell.routed, lo, hi, err)
+						}
+					}
+					st0 := mt.Region().Stats
+					timed := events[dynBenchWarm:]
+					start := time.Now()
+					for ei := range timed {
+						if _, err := mt.ApplyBatch(timed[ei : ei+1]); err != nil {
+							return fmt.Errorf("%s |U|=%d routed=%v: event %d: %w",
+								dataset, nU, cell.routed, ei, err)
+						}
+					}
+					wall := time.Since(start).Seconds()
+					if best < 0 || wall < best {
+						best = wall
+					}
+					if r == 0 {
+						st1 := mt.Region().Stats
+						n := float64(len(timed))
+						res.TouchedLeavesPerEvent = float64(st1.RoutedLeaves-st0.RoutedLeaves) / n
+						res.SkippedSubtreesPerEvent = float64(st1.SkippedSubtrees-st0.SkippedSubtrees) / n
+						res.FrontierPerEvent = float64(st1.TouchedFrontier-st0.TouchedFrontier) / n
+						res.Cells = st1.Cells
+						res.FinalUsers = mt.NumUsers()
+						res.CountDesyncs = int(st1.CountDesyncs)
+					}
+				}
+				// Desync counts must be identical across every (workers,
+				// routing) row of a configuration: they are a shared-path
+				// tolerance artifact, and any divergence means the routed
+				// descent classified something the sweep did not.
+				if desyncRef < 0 {
+					desyncRef = res.CountDesyncs
+				} else if res.CountDesyncs != desyncRef {
+					return fmt.Errorf("%s |U|=%d workers=%d routed=%v: %d count desyncs, other rows saw %d",
+						dataset, nU, cell.workers, cell.routed, res.CountDesyncs, desyncRef)
+				}
+				res.EventsPerSec = float64(dynBenchSteps) / best
+				report.Results = append(report.Results, res)
+				fmt.Printf("%-5s |U|=%-4d workers=%d routed=%-5v  %9.0f events/s  %10.1f leaves/event  %8.1f skips/event  %6d cells\n",
+					dataset, nU, cell.workers, cell.routed, res.EventsPerSec,
+					res.TouchedLeavesPerEvent, res.SkippedSubtreesPerEvent, res.Cells)
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if baselinePath != "" {
+		return checkDynBaseline(report, baselinePath)
+	}
+	return nil
+}
+
+// Gate tolerances. Touched-leaves/event is deterministic for a fixed
+// configuration, so anything past 10% growth over the committed baseline
+// is a real locality regression (a lost deferral proof, a bounds refresh
+// gone too wide). Events/sec is wall-clock and gates with the same 10%
+// from the issue's contract, but only on the workers=1 rows, where the
+// measurement is least scheduler-noisy. dynLocalityFloor is the absolute
+// gate of the optimization itself: on the matrix's largest user tier the
+// routed rows must touch at least 5x fewer leaves per event than the
+// full-sweep baseline rows, fresh-report against fresh-report, so the
+// check cannot rot with the committed file.
+const (
+	dynTouchedRegressTolerance = 1.10
+	dynEventsRegressTolerance  = 0.90
+	dynLocalityFloor           = 5.0
+)
+
+// checkDynBaseline gates a fresh -json-dyn report against the committed
+// BENCH_DYN.json: per-row touched-leaves/event (all rows; deterministic)
+// and events/sec (workers=1 rows) within tolerance, plus the absolute
+// >=5x routed-vs-sweep locality ratio on the largest user tier.
+func checkDynBaseline(fresh dynReport, baselinePath string) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base dynReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	type key struct {
+		dataset string
+		users   int
+		workers int
+		routed  bool
+	}
+	ref := make(map[key]dynResult)
+	for _, r := range base.Results {
+		ref[key{r.Dataset, r.Users, r.Workers, r.Routed}] = r
+	}
+	if len(ref) == 0 {
+		return fmt.Errorf("baseline %s: no rows to compare against", baselinePath)
+	}
+	var failures []string
+	maxUsers := 0
+	for _, r := range fresh.Results {
+		if r.Users > maxUsers {
+			maxUsers = r.Users
+		}
+	}
+	sweep := make(map[string]dynResult) // largest-tier workers=1 sweep rows by dataset
+	for _, r := range fresh.Results {
+		if r.Users == maxUsers && r.Workers == 1 && !r.Routed {
+			sweep[r.Dataset] = r
+		}
+	}
+	for _, r := range fresh.Results {
+		k := key{r.Dataset, r.Users, r.Workers, r.Routed}
+		want, ok := ref[k]
+		if !ok {
+			fmt.Printf("baseline: no reference for %s |U|=%d workers=%d routed=%v; skipping\n",
+				r.Dataset, r.Users, r.Workers, r.Routed)
+			continue
+		}
+		status := "ok"
+		limit := want.TouchedLeavesPerEvent * dynTouchedRegressTolerance
+		if r.TouchedLeavesPerEvent > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s |U|=%d workers=%d routed=%v: %.1f touched leaves/event vs baseline %.1f (limit %.1f)",
+				r.Dataset, r.Users, r.Workers, r.Routed,
+				r.TouchedLeavesPerEvent, want.TouchedLeavesPerEvent, limit))
+		}
+		if r.Workers == 1 && r.EventsPerSec < want.EventsPerSec*dynEventsRegressTolerance {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s |U|=%d workers=%d routed=%v: %.0f events/s vs baseline %.0f (floor %.0f)",
+				r.Dataset, r.Users, r.Workers, r.Routed,
+				r.EventsPerSec, want.EventsPerSec, want.EventsPerSec*dynEventsRegressTolerance))
+		}
+		if r.Users == maxUsers && r.Workers == 1 && r.Routed {
+			sw, ok := sweep[r.Dataset]
+			if !ok {
+				failures = append(failures, fmt.Sprintf(
+					"%s |U|=%d: no workers=1 sweep row to compute the locality ratio", r.Dataset, r.Users))
+			} else if r.TouchedLeavesPerEvent*dynLocalityFloor > sw.TouchedLeavesPerEvent {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"%s |U|=%d: routed touches %.1f leaves/event, sweep %.1f — below the %gx locality floor",
+					r.Dataset, r.Users, r.TouchedLeavesPerEvent, sw.TouchedLeavesPerEvent, dynLocalityFloor))
+			}
+		}
+		fmt.Printf("baseline %-4s %-5s |U|=%-4d workers=%d routed=%-5v  %10.1f leaves/event vs %10.1f  %9.0f events/s vs %9.0f\n",
+			status, r.Dataset, r.Users, r.Workers, r.Routed,
+			r.TouchedLeavesPerEvent, want.TouchedLeavesPerEvent, r.EventsPerSec, want.EventsPerSec)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("dynamic-maintenance matrix regressed beyond tolerance:\n  %s",
+			joinLines(failures))
+	}
+	fmt.Println("dyn baseline check passed")
+	return nil
+}

@@ -52,6 +52,8 @@ func main() {
 	baseline := flag.String("baseline", "", "with -json: committed BENCH_AA.json to gate against (fails if workers=1 allocs/op regress >10%)")
 	jsonTopkPath := flag.String("json-topk", "", "run the indexed all-top-k preprocessing matrix and write a machine-readable report to this path")
 	baselineTopk := flag.String("baseline-topk", "", "with -json-topk: committed BENCH_TOPK.json to gate against (fails if scanned-products/user regress >10%)")
+	jsonDynPath := flag.String("json-dyn", "", "run the dynamic-maintenance events/sec matrix and write a machine-readable report to this path")
+	baselineDyn := flag.String("baseline-dyn", "", "with -json-dyn: committed BENCH_DYN.json to gate against (fails if touched-leaves/event or events/sec regress >10%, or the routed/sweep locality ratio drops below 5x)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this path")
 	flag.Parse()
@@ -91,7 +93,7 @@ func main() {
 		printList(cfg)
 		return
 	}
-	if *jsonPath != "" || *jsonTopkPath != "" {
+	if *jsonPath != "" || *jsonTopkPath != "" || *jsonDynPath != "" {
 		if *jsonPath != "" {
 			if err := runJSONBench(cfg, *jsonPath, *baseline); err != nil {
 				fatal(err)
@@ -99,6 +101,11 @@ func main() {
 		}
 		if *jsonTopkPath != "" {
 			if err := runTopkBench(cfg, *jsonTopkPath, *baselineTopk); err != nil {
+				fatal(err)
+			}
+		}
+		if *jsonDynPath != "" {
+			if err := runDynBench(cfg, *jsonDynPath, *baselineDyn); err != nil {
 				fatal(err)
 			}
 		}
@@ -110,6 +117,10 @@ func main() {
 	}
 	if *baselineTopk != "" {
 		fmt.Fprintln(os.Stderr, "mirbench: -baseline-topk requires -json-topk")
+		os.Exit(2)
+	}
+	if *baselineDyn != "" {
+		fmt.Fprintln(os.Stderr, "mirbench: -baseline-dyn requires -json-dyn")
 		os.Exit(2)
 	}
 	if *fig == "" {

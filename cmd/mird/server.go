@@ -30,6 +30,11 @@ type epochSnap struct {
 	snap    *mir.Snapshot
 	cells   int
 	applied uint64 // cumulative events applied across all epochs
+	// lastDrain is the size of the burst this epoch applied in one pass.
+	// Together with the live queue depth/capacity it makes backpressure
+	// observable before the 429 path fires: drains pinned at queue capacity
+	// mean maintenance is running behind ingest.
+	lastDrain int
 }
 
 // server is the standing mIR daemon: a Monitor owned by one writer
@@ -125,9 +130,10 @@ func (s *server) writerLoop() {
 			}
 			prev := s.cur.Load()
 			next := &epochSnap{
-				epoch:   prev.epoch + 1,
-				snap:    s.mo.Snapshot(),
-				applied: prev.applied + uint64(len(buf)),
+				epoch:     prev.epoch + 1,
+				snap:      s.mo.Snapshot(),
+				applied:   prev.applied + uint64(len(buf)),
+				lastDrain: len(buf),
 			}
 			next.cells = next.snap.Region().NumCells()
 			s.cur.Store(next)
@@ -312,14 +318,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.cur.Load()
 	st := es.snap.Region().Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":        es.epoch,
-		"numUsers":     es.snap.NumUsers(),
-		"numProducts":  len(s.products),
-		"cells":        es.cells,
-		"applied":      es.applied,
-		"queueLen":     s.q.Len(),
-		"queueCap":     s.q.Cap(),
-		"countDesyncs": st.CountDesyncs,
+		"epoch":         es.epoch,
+		"numUsers":      es.snap.NumUsers(),
+		"numProducts":   len(s.products),
+		"cells":         es.cells,
+		"applied":       es.applied,
+		"queueLen":      s.q.Len(),
+		"queueCap":      s.q.Cap(),
+		"lastDrainSize": es.lastDrain,
+		"countDesyncs":  st.CountDesyncs,
+		// Routed-maintenance locality profile (cumulative since startup):
+		// leaves visited by event application, subtree skips proven safe,
+		// and leaves re-verified. routedLeaves/applied is the sublinearity
+		// signal the BENCH_DYN gate tracks.
+		"routedLeaves":    st.RoutedLeaves,
+		"skippedSubtrees": st.SkippedSubtrees,
+		"touchedFrontier": st.TouchedFrontier,
 	})
 }
 

@@ -196,9 +196,13 @@ func TestMirdSmokeReadsDuringWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st struct {
-		QueueLen     int   `json:"queueLen"`
-		CountDesyncs int64 `json:"countDesyncs"`
-		NumUsers     int   `json:"numUsers"`
+		QueueLen      int    `json:"queueLen"`
+		QueueCap      *int   `json:"queueCap"`
+		LastDrainSize *int   `json:"lastDrainSize"`
+		Applied       uint64 `json:"applied"`
+		CountDesyncs  int64  `json:"countDesyncs"`
+		NumUsers      int    `json:"numUsers"`
+		RoutedLeaves  *int   `json:"routedLeaves"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
@@ -206,6 +210,20 @@ func TestMirdSmokeReadsDuringWrites(t *testing.T) {
 	resp.Body.Close()
 	if st.QueueLen != 0 || st.CountDesyncs != 0 || st.NumUsers != netUsers {
 		t.Fatalf("final stats: %+v (want empty queue, zero desyncs, %d users)", st, netUsers)
+	}
+	// Backpressure observability: queue capacity and the last drained burst
+	// size must be served (pointers distinguish a missing field from a zero
+	// value). Every event applied through a drain, so the last drain is
+	// between 1 and the queue capacity, and the routed-maintenance profile
+	// must be present for dashboards to derive touched-leaves/event.
+	if st.QueueCap == nil || *st.QueueCap != 64 {
+		t.Fatalf("stats queueCap = %v, want 64", st.QueueCap)
+	}
+	if st.LastDrainSize == nil || *st.LastDrainSize < 1 || *st.LastDrainSize > 64 {
+		t.Fatalf("stats lastDrainSize = %v, want within [1,64]", st.LastDrainSize)
+	}
+	if st.RoutedLeaves == nil || *st.RoutedLeaves <= 0 {
+		t.Fatalf("stats routedLeaves = %v, want positive after %d applied events", st.RoutedLeaves, st.Applied)
 	}
 }
 

@@ -419,6 +419,43 @@ func TestMonitorApplyEvents(t *testing.T) {
 	}
 }
 
+// TestMonitorApplyEventsEmptyNoOp pins the empty-batch contract the
+// daemon's drain loop relies on (an empty drain must not bump the served
+// epoch): nil and zero-length batches return (nil, nil) and leave the
+// Monitor completely untouched — population, handle counter, region
+// bytes, and the maintenance work counters all unchanged.
+func TestMonitorApplyEventsEmptyNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ps, us := fixture(rng, 120, 10, 3, 4)
+	mo, err := NewMonitor(ps, us, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn once so the routing counters are nonzero and a spurious sweep
+	// afterwards would be visible.
+	_, newbies := fixture(rng, 1, 1, 3, 4)
+	if _, err := mo.UserArrived(newbies[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := mo.Region()
+	users, next, stats := mo.NumUsers(), mo.NextHandle(), before.Stats()
+	for _, events := range [][]MonitorEvent{nil, {}} {
+		handles, err := mo.ApplyEvents(events)
+		if handles != nil || err != nil {
+			t.Fatalf("empty batch: handles %v err %v, want nil nil", handles, err)
+		}
+	}
+	if mo.NumUsers() != users || mo.NextHandle() != next {
+		t.Fatalf("empty batch moved population: users %d->%d next %d->%d",
+			users, mo.NumUsers(), next, mo.NextHandle())
+	}
+	after := mo.Region()
+	assertRegionsIdentical(t, "after empty batches", before, after)
+	if got := after.Stats(); got != stats {
+		t.Fatalf("empty batch did maintenance work:\n before %+v\n after  %+v", stats, got)
+	}
+}
+
 // TestMonitorSnapshot checks that snapshots answer from capture-time
 // state, stay coherent while the Monitor churns, and agree with the
 // Monitor's own queries at capture time.

@@ -82,6 +82,27 @@ type Cell struct {
 	// numerics); such cells carry no geometry and are never revived.
 	Empty bool
 
+	// MaintSeq, StageSeq, ElimSlack, and RepIn are the routed-maintenance
+	// bookkeeping of core's Maintainer (unused — zero — outside maintained
+	// runs). MaintSeq is the absolute index into the maintenance event log
+	// the node's subtree BOUNDS are current through; StageSeq (meaningful at
+	// leaves only) is the index the leaf's PAYLOAD and counts are actually
+	// staged through. A deferral folds a log window into the bounds and
+	// advances MaintSeq without touching payloads, so StageSeq lags behind
+	// until a descent or settle replays the leaf's backlog; StageSeq <=
+	// MaintSeq always. ElimSlack bounds from above, over the eliminated
+	// leaves of the subtree, the revival slack nAlive − OutCount (how close
+	// the closest one is to revival); RepIn bounds from below, over the
+	// reported leaves, the coverage count InCount (how close the closest one
+	// is to demotion). Both are exact at leaves when freshly settled and
+	// only loosen as deferred events are folded in conservatively; the
+	// router skips a whole subtree when the bounds prove no deferred event
+	// can flip a decision below it.
+	MaintSeq  int
+	StageSeq  int
+	ElimSlack int
+	RepIn     int
+
 	// Payload carries algorithm state (e.g. AA's pending group views).
 	Payload any
 
@@ -166,6 +187,21 @@ type Stats struct {
 	PruneLPTests int
 	PrunedRows   int
 
+	// RoutedLeaves, SkippedSubtrees, and TouchedFrontier profile routed
+	// incremental maintenance (all zero outside maintained runs).
+	// RoutedLeaves counts leaf visits by event application — a leaf whose
+	// payload and counts were brought current by staging/settling events
+	// onto it. SkippedSubtrees counts deferrals: nodes (subtree roots or
+	// individual leaves) where the router proved from the MBB
+	// classification of the pending events and the subtree bounds that no
+	// decision below can flip, and moved on without descending.
+	// TouchedFrontier counts leaves bucketed for re-verification (a report
+	// demoted or an elimination revived by some event) — the cells a drain
+	// actually reprocesses. All three merge by summation.
+	RoutedLeaves    int
+	SkippedSubtrees int
+	TouchedFrontier int
+
 	// LP aggregates the simplex-effort counters (pivots, warm hits/misses,
 	// cold solves) of every classification and reduction solve charged to
 	// this accumulator. Unlike every counter above, the pivot numbers are
@@ -204,6 +240,9 @@ func (s *Stats) Merge(o Stats) {
 	}
 	s.PruneLPTests += o.PruneLPTests
 	s.PrunedRows += o.PrunedRows
+	s.RoutedLeaves += o.RoutedLeaves
+	s.SkippedSubtrees += o.SkippedSubtrees
+	s.TouchedFrontier += o.TouchedFrontier
 	s.LP.Add(o.LP)
 }
 
@@ -422,6 +461,12 @@ func (sh *Shard) SplitBy(c *Cell, h geom.Halfspace) (left, right *Cell) {
 			Depth:    c.Depth + 1,
 			InCount:  c.InCount,
 			OutCount: c.OutCount,
+			// Children of a split are current through the same maintenance
+			// event as their parent; the routing bounds are recomputed by the
+			// maintainer's post-drain refresh (splits during maintenance only
+			// happen inside re-verified subtrees).
+			MaintSeq: c.MaintSeq,
+			StageSeq: c.StageSeq,
 			parent:   c,
 			owner:    tr,
 		}

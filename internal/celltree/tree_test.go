@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mir/internal/geom"
+	"mir/internal/lp"
 )
 
 func unitTree(d int) *Tree { return New(geom.NewBox(d, 0, 1)) }
@@ -470,6 +471,58 @@ func TestHeapRandomSequences(t *testing.T) {
 				}
 				prev = p
 			}
+		}
+	}
+}
+
+// TestStatsMergeOrderFree pins the commutativity/associativity contract
+// Merge documents: folding per-worker shard stats in any order yields the
+// same totals. Every counter — the routing trio RoutedLeaves /
+// SkippedSubtrees / TouchedFrontier included — must merge by summation
+// (MaxDepth by maximum, which is equally order-free), or worker-count
+// determinism of the public Stats breaks.
+func TestStatsMergeOrderFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	randStats := func() Stats {
+		return Stats{
+			CellsCreated:     rng.Intn(1000),
+			Splits:           rng.Intn(1000),
+			ContainmentTests: rng.Intn(1000),
+			FastTests:        rng.Intn(1000),
+			FastHits:         rng.Intn(1000),
+			Reported:         rng.Intn(1000),
+			Eliminated:       rng.Intn(1000),
+			MaxDepth:         rng.Intn(64),
+			PruneLPTests:     rng.Intn(1000),
+			PrunedRows:       rng.Intn(1000),
+			RoutedLeaves:     rng.Intn(1000),
+			SkippedSubtrees:  rng.Intn(1000),
+			TouchedFrontier:  rng.Intn(1000),
+			LP: lp.Counters{
+				Pivots:     int64(rng.Intn(1000)),
+				WarmHits:   int64(rng.Intn(1000)),
+				WarmMisses: int64(rng.Intn(1000)),
+				ColdSolves: int64(rng.Intn(1000)),
+			},
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		shards := make([]Stats, 2+rng.Intn(7))
+		for i := range shards {
+			shards[i] = randStats()
+		}
+		var forward Stats
+		for _, s := range shards {
+			forward.Merge(s)
+		}
+		perm := rng.Perm(len(shards))
+		var permuted Stats
+		for _, i := range perm {
+			permuted.Merge(shards[i])
+		}
+		if forward != permuted {
+			t.Fatalf("trial %d: merge order changed totals:\n forward  %+v\n permuted %+v (order %v)",
+				trial, forward, permuted, perm)
 		}
 	}
 }

@@ -42,6 +42,23 @@ type Maintainer struct {
 	search *topk.Searcher
 
 	run *aaRun
+
+	// log is the staged-event history (batchOp per event) and logBase the
+	// absolute index of log[0]. Routed maintenance (routed=true, the
+	// default) appends each batch, lets deferred subtrees lag behind it
+	// (celltree.Cell.MaintSeq records how far each node has caught up), and
+	// compacts once the backlog reaches routeLogCap; the full-sweep path
+	// truncates the log every batch, since every leaf is staged to the end
+	// before the batch returns. See route.go.
+	log     []batchOp
+	logBase int
+	routed  bool
+
+	// leavesBuf and subBuf are scratch for leaf enumerations (full-tree
+	// sweeps and fired-subtree re-staging), reused across events and drains
+	// so steady-state maintenance does not allocate a leaf slice per sweep.
+	leavesBuf []*celltree.Cell
+	subBuf    []*celltree.Cell
 }
 
 // NewMaintainer computes the initial region and retains the arrangement.
@@ -70,6 +87,12 @@ func NewMaintainer(inst *Instance, m int, opts Options) (*Maintainer, error) {
 	}
 	for i := range mt.alive {
 		mt.alive[i] = true
+	}
+	mt.routed = !opts.DisableRouting
+	if mt.routed {
+		// Settle the routing bounds of the freshly built arrangement so the
+		// first batch's descent starts from exact per-subtree values.
+		mt.refreshSubtree(mt.run.tr.Root)
 	}
 	return mt, nil
 }
@@ -118,153 +141,30 @@ func (mt *Maintainer) MinBoundaryGap(p geom.Vector) float64 {
 // returns the user's index (for a later RemoveUser). Valid indices are
 // non-negative; on error the returned index is -1, so it can never be
 // mistaken for the first user's index 0.
+//
+// The new user becomes a singleton pending view on every leaf, decided or
+// not, so that the accounting invariant (counts + pending = alive users)
+// survives future reactivations. Reported cells stay reported (their
+// coverage only grows); eliminated cells whose bound now allows reaching m
+// are revived and resume processing. AddUser is a single-event ApplyBatch —
+// the batch path is byte-identical to the historical per-event sweep (see
+// ApplyBatch), and funneling both through one staging pass is what lets
+// routed maintenance serve singles and bursts with the same descent.
 func (mt *Maintainer) AddUser(u topk.UserPref) (int, error) {
-	if len(u.W) != mt.dim {
-		return -1, fmt.Errorf("%w: new user has %d weights, want %d",
-			ErrDimMismatch, len(u.W), mt.dim)
+	handles, err := mt.ApplyBatch([]Event{{Kind: EventArrive, User: u}})
+	if err != nil {
+		return -1, err
 	}
-	if u.K < 1 || u.K > len(mt.products) {
-		return -1, fmt.Errorf("%w: new user has k=%d (|P|=%d)",
-			ErrBadK, u.K, len(mt.products))
-	}
-	inst := mt.run.inst
-	// Answer the arriving user's top-k-th threshold from the layered
-	// index: the bounded-heap layer scan touches a handful of product
-	// blocks where the historical path scored the entire product set.
-	// Both selections are exact under the same (score desc, index asc)
-	// ranking, so the result is byte-identical either way.
-	var kth topk.KthResult
-	if mt.search != nil {
-		mt.search.Stats = topk.SearchStats{}
-		kth = mt.search.Kth(u.W, u.K)
-		mt.run.st.ScannedProducts += mt.search.Stats.ScannedProducts
-		mt.run.st.LayerPrunes += mt.search.Stats.LayerPrunes
-	} else {
-		kth = topk.KthScore(mt.products, u.W, u.K)
-	}
-	idx := len(mt.users)
-
-	mt.users = append(mt.users, u)
-	mt.alive = append(mt.alive, true)
-	mt.nAlive++
-	inst.Users = append(inst.Users, u)
-	inst.Kth = append(inst.Kth, kth)
-	inst.HS = append(inst.HS, geom.Halfspace{W: u.W, T: kth.Score})
-	if mt.dim > 1 {
-		inst.WProj = append(inst.WProj, u.W[:mt.dim-1])
-	} else {
-		inst.WProj = append(inst.WProj, u.W)
-	}
-
-	// The new user becomes a singleton pending view on EVERY leaf, decided
-	// or not, so that the accounting invariant (counts + pending = alive
-	// users) survives future reactivations. Reported cells stay reported
-	// (their coverage only grows); eliminated cells whose bound now allows
-	// reaching m are revived and resume processing.
-	g := &Group{Pivot: kth.Index, R: mt.products[kth.Index], Members: []int{idx}}
-
-	mt.run.nU = mt.nAlive
-	pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
-		for _, leaf := range mt.run.tr.Leaves(nil, nil) {
-			if leaf.Empty {
-				continue
-			}
-			cg := pendingOf(leaf).clone()
-			cg.views = append(cg.views, newView(g))
-			leaf.Payload = cg
-			if leaf.Status != celltree.Eliminated {
-				continue
-			}
-			// Elimination condition with the larger population: still valid?
-			if mt.nAlive-leaf.OutCount < mt.m {
-				continue
-			}
-			mt.run.tr.Reactivate(leaf)
-			if !mt.run.seq.verify(leaf) {
-				mt.run.heap.Push(leaf, mt.run.priority(leaf))
-			}
-		}
-	})
-	mt.run.drain()
-	return idx, nil
+	return handles[0], nil
 }
 
 // RemoveUser retires the user at the given index and updates the region
-// incrementally.
+// incrementally: the user is stripped from every leaf's pending views and
+// counts, and reported leaves whose decision the removal broke are
+// re-verified. Like AddUser, it is a single-event ApplyBatch.
 func (mt *Maintainer) RemoveUser(idx int) error {
-	if idx < 0 || idx >= len(mt.users) || !mt.alive[idx] {
-		return fmt.Errorf("core: user %d not present", idx)
-	}
-	mt.alive[idx] = false
-	mt.nAlive--
-	mt.run.nU = mt.nAlive
-	h := mt.run.inst.HS[idx]
-
-	pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
-		mt.stripUser(idx, h)
-	})
-	mt.run.drain()
-	return nil
-}
-
-// stripUser removes the departed user from every leaf's pending views and
-// counts, re-queueing reported leaves whose decision the removal broke.
-func (mt *Maintainer) stripUser(idx int, h geom.Halfspace) {
-	for _, leaf := range mt.run.tr.Leaves(nil, nil) {
-		if leaf.Empty {
-			continue
-		}
-		// Strip the user from the leaf's pending views (views are shared
-		// between sibling leaves, so replace rather than mutate).
-		cg := pendingOf(leaf)
-		stripped := false
-		for vi, v := range cg.views {
-			pos := -1
-			for i, ui := range v.members {
-				if ui == idx {
-					pos = i
-					break
-				}
-			}
-			if pos < 0 {
-				continue
-			}
-			stripped = true
-			nc := cg.clone()
-			if len(v.members) == 1 {
-				nc.remove(vi)
-			} else {
-				nc.views[vi] = v.withMembers(dropTwo(v.members, pos, pos))
-			}
-			leaf.Payload = nc
-			break
-		}
-		if !stripped {
-			// The user was decided for this leaf: undo the count.
-			switch leaf.Classify(h, !mt.opts.DisableFastTest) {
-			case geom.Covers:
-				leaf.InCount--
-			case geom.Excludes:
-				leaf.OutCount--
-			case geom.Cuts:
-				// A cutting halfspace means the user was never absorbed
-				// into this leaf's counts — it should have been pending.
-				// The counts are left untouched (there is nothing sound
-				// to undo), but the desync is recorded: invariant tests
-				// fail on a nonzero counter instead of letting
-				// InCount/OutCount drift silently from the alive
-				// population.
-				mt.run.st.CountDesyncs++
-			}
-		}
-		// Re-verify decisions that removal can break.
-		if leaf.Status == celltree.Reported && leaf.InCount < mt.m {
-			mt.run.tr.Reactivate(leaf)
-			if !mt.run.seq.verify(leaf) {
-				mt.run.heap.Push(leaf, mt.run.priority(leaf))
-			}
-		}
-	}
+	_, err := mt.ApplyBatch([]Event{{Kind: EventDepart, Handle: idx}})
+	return err
 }
 
 // NextHandle returns the handle the next successful arrival will receive
@@ -415,6 +315,7 @@ func (mt *Maintainer) ApplyBatch(events []Event) ([]int, error) {
 		}
 		ops[i] = batchOp{arrive: true, idx: handles[i],
 			g:      &Group{Pivot: kth.Index, R: mt.products[kth.Index], Members: []int{handles[i]}},
+			h:      geom.Halfspace{W: u.W, T: kth.Score},
 			nAlive: nAfter[i]}
 	}
 	for i, ev := range events {
@@ -426,36 +327,128 @@ func (mt *Maintainer) ApplyBatch(events []Event) ([]int, error) {
 	}
 	mt.nAlive = nAfter[len(events)-1]
 
-	// stage replays events from..end against one leaf, cloning its payload
-	// on first mutation and stopping (bucketed for re-verification) at the
-	// first event that breaks the leaf's decision.
-	buckets := make([][]*celltree.Cell, len(ops))
-	stage := func(leaf *celltree.Cell, from int) {
-		if leaf.Empty {
-			return
+	mt.applyLog(ops)
+	return handles, nil
+}
+
+// mineHeadroom is the padding the threshold miner adds beyond the bare
+// decision proof. AA decides every leaf the moment the decision is provable,
+// so decided leaves sit exactly at their threshold (revival slack m-1,
+// coverage count m) and any event that moves the right count threatens all
+// of them at once. Mining past the minimum by this many users leaves the
+// proof able to absorb that many adverse events before the leaf is
+// threatened again — which is what lets ancestor subtrees defer whole
+// event windows instead of descending on every arrival.
+const mineHeadroom = 8
+
+// minePending classifies a leaf's pending users against the leaf until the
+// decision proof is restored with headroom — OutCount reaching want when
+// mineOut is set, InCount reaching it otherwise — or the pool is exhausted.
+// Conclusive users move from the pending views into the counts — exactly
+// the classification a re-verification drain would reach, reached now —
+// and cut users stay pending. Mining is keyed to replayed log positions
+// (stageLeaf calls it per op), never to when a leaf happens to be visited,
+// which is what keeps the routed and swept modes byte-identical: the same
+// op sequence mines the same users at the same events in both.
+func (mt *Maintainer) minePending(leaf *celltree.Cell, own func() *cellGroups, mineOut bool, want int) {
+	done := func() bool {
+		if mineOut {
+			return leaf.OutCount >= want
 		}
-		var owned *cellGroups
-		own := func() *cellGroups {
-			if owned == nil {
-				owned = pendingOf(leaf).clone()
-				leaf.Payload = owned
+		return leaf.InCount >= want
+	}
+	if len(pendingOf(leaf).views) == 0 {
+		return
+	}
+	cg := own()
+	for vi := 0; vi < len(cg.views) && !done(); {
+		v := cg.views[vi]
+		// kept is built lazily: views are shared between sibling leaves, so
+		// a mutated member list must be a fresh slice, but a view that mines
+		// nothing is kept as-is without copying.
+		var kept []int
+		mined := false
+		for pos, ui := range v.members {
+			if mined && done() {
+				kept = append(kept, v.members[pos:]...)
+				break
 			}
-			return owned
-		}
-		for e := from; e < len(ops); e++ {
-			op := &ops[e]
-			if op.arrive {
-				cg := own()
-				cg.views = append(cg.views, newView(op.g))
-				if leaf.Status == celltree.Eliminated && op.nAlive-leaf.OutCount >= mt.m {
-					buckets[e] = append(buckets[e], leaf)
-					return
+			switch leaf.Classify(mt.run.inst.HS[ui], !mt.opts.DisableFastTest) {
+			case geom.Covers:
+				leaf.InCount++
+			case geom.Excludes:
+				leaf.OutCount++
+			default: // Cuts: stays pending
+				if mined {
+					kept = append(kept, ui)
 				}
 				continue
 			}
-			// Departure: replay stripUser's per-leaf step. The search runs
-			// on the current list; the clone preserves order, so the found
-			// positions stay valid on it.
+			if !mined {
+				mined = true
+				kept = append(make([]int, 0, len(v.members)-1), v.members[:pos]...)
+			}
+		}
+		if !mined {
+			vi++
+			continue
+		}
+		if len(kept) == 0 {
+			cg.remove(vi) // swap-delete: revisit index vi
+			continue
+		}
+		cg.views[vi] = v.withMembers(kept)
+		vi++
+	}
+}
+
+// stageLeaf replays mt.log[from:] against one leaf, cloning its payload on
+// first mutation and stopping — the event index and leaf handed to fire for
+// re-verification bucketing — at the first event that breaks the leaf's
+// decision. from indexes mt.log (subtract logBase from an absolute
+// MaintSeq). The leaf is marked current through the end of the log up
+// front: a fired remainder is completed by the caller's drain/re-stage loop
+// before the pass returns, so the mark is true by the time anything reads
+// it. Reports whether the leaf fired.
+func (mt *Maintainer) stageLeaf(leaf *celltree.Cell, from int, fire func(e int, leaf *celltree.Cell)) bool {
+	leaf.MaintSeq = mt.logBase + len(mt.log)
+	leaf.StageSeq = leaf.MaintSeq
+	if leaf.Empty {
+		return false
+	}
+	mt.run.tr.Stats.RoutedLeaves++
+	var owned *cellGroups
+	own := func() *cellGroups {
+		if owned == nil {
+			owned = pendingOf(leaf).clone()
+			leaf.Payload = owned
+		}
+		return owned
+	}
+	for e := from; e < len(mt.log); e++ {
+		op := &mt.log[e]
+		if op.arrive {
+			// Absorb the arrival where its halfspace is conclusive for this
+			// leaf: the decision is exactly what a drain's re-verification
+			// would reach, reached now, so only cut leaves carry a pending
+			// view. The geometry matters for the revival check too — an
+			// excluded arrival raises the alive population and the
+			// out-count together, so the revival slack nAlive − OutCount
+			// does not move and the leaf cannot fire.
+			switch leaf.Classify(op.h, !mt.opts.DisableFastTest) {
+			case geom.Covers:
+				leaf.InCount++
+			case geom.Excludes:
+				leaf.OutCount++
+			default: // Cuts: pending until a drain resolves it (or splits)
+				cg := own()
+				cg.views = append(cg.views, newView(op.g))
+			}
+		} else {
+			// Departure: strip the user from the leaf's pending views (views
+			// are shared between sibling leaves, so replace rather than
+			// mutate). The search runs on the current list; the clone
+			// preserves order, so the found positions stay valid on it.
 			cur := pendingOf(leaf)
 			stripped := false
 			for vi, v := range cur.views {
@@ -479,63 +472,158 @@ func (mt *Maintainer) ApplyBatch(events []Event) ([]int, error) {
 				break
 			}
 			if !stripped {
+				// The user was decided for this leaf: undo the count.
 				switch leaf.Classify(op.h, !mt.opts.DisableFastTest) {
 				case geom.Covers:
 					leaf.InCount--
 				case geom.Excludes:
 					leaf.OutCount--
 				case geom.Cuts:
+					// A cutting halfspace means the user was never absorbed
+					// into this leaf's counts — it should have been pending.
+					// The counts are left untouched (there is nothing sound
+					// to undo), but the desync is recorded: invariant tests
+					// fail on a nonzero counter instead of letting
+					// InCount/OutCount drift silently from the alive
+					// population.
 					mt.run.st.CountDesyncs++
 				}
 			}
-			if leaf.Status == celltree.Reported && leaf.InCount < mt.m {
-				buckets[e] = append(buckets[e], leaf)
-				return
+		}
+		// Keep the decision proof padded: whenever the leaf's margin is
+		// inside the headroom band, mine pending users back into the counts
+		// before checking the fire condition. AA decides leaves exactly at
+		// their threshold, and a zero-headroom leaf pins its whole ancestor
+		// chain's routing bounds at the threshold too — one inconclusive
+		// event per window would force the descent right back here. The
+		// mined padding is what lets later windows defer above this leaf.
+		// Only then can a fire still be warranted (arrivals alone raise
+		// revival slack; departures alone lower coverage), meaning the
+		// pending pool genuinely ran dry.
+		switch leaf.Status {
+		case celltree.Eliminated:
+			if want := op.nAlive - mt.m + 1 + mineHeadroom; leaf.OutCount < want {
+				mt.minePending(leaf, own, true, want)
+			}
+			if op.arrive && op.nAlive-leaf.OutCount >= mt.m {
+				mt.run.tr.Stats.TouchedFrontier++
+				fire(e, leaf)
+				return true
+			}
+		case celltree.Reported:
+			if want := mt.m + mineHeadroom; leaf.InCount < want {
+				mt.minePending(leaf, own, false, want)
+			}
+			if !op.arrive && leaf.InCount < mt.m {
+				mt.run.tr.Stats.TouchedFrontier++
+				fire(e, leaf)
+				return true
 			}
 		}
 	}
+	return false
+}
 
+// applyLog stages a validated, registered batch of ops against the
+// arrangement and drains the re-verification buckets in event order. With
+// routing enabled the staging phase is routeNode's pruned descent (leaves
+// under deferred subtrees are not visited at all); otherwise it is the
+// historical full sweep. Everything downstream of staging — bucket drains
+// with the event-time population, fired-subtree re-staging at e+1 — is
+// shared, which is the heart of the routing-on/off byte-identity argument:
+// the two modes bucket the same leaves at the same events and push them in
+// the same leaf order, so every drain runs under identical state.
+func (mt *Maintainer) applyLog(ops []batchOp) {
+	if mt.routed {
+		mt.log = append(mt.log, ops...)
+	} else {
+		// The full sweep stages every leaf through the end of each batch, so
+		// the processed prefix is dead: advance the base over it and let the
+		// new batch reuse the backing array.
+		mt.logBase += len(mt.log)
+		mt.log = append(mt.log[:0], ops...)
+	}
+	// Buckets span the whole log, not just this batch: a routed leaf
+	// settles its backlog right before the new ops. Deferral proofs
+	// guarantee backlog events never fire (see route.go), so only the tail
+	// batch's buckets can fill — but indexing the full range keeps that a
+	// provable property rather than a structural assumption.
+	buckets := make([][]*celltree.Cell, len(mt.log))
+	fire := func(e int, leaf *celltree.Cell) {
+		buckets[e] = append(buckets[e], leaf)
+	}
 	pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
-		for _, leaf := range mt.run.tr.Leaves(nil, nil) {
-			stage(leaf, 0)
+		if mt.routed {
+			mt.routeNode(mt.run.tr.Root, fire)
+		} else {
+			mt.leavesBuf = mt.run.tr.Leaves(nil, mt.leavesBuf[:0])
+			for _, leaf := range mt.leavesBuf {
+				mt.stageLeaf(leaf, 0, fire)
+			}
 		}
 	})
-	var sub []*celltree.Cell
-	for e := range ops {
+	// refresh collects every fired cell once, in firing order: their
+	// subtrees (splits included) need exact routing bounds again after the
+	// drains. A slice, not a map, so the post-drain walk is deterministic.
+	var refresh []*celltree.Cell
+	var seen map[*celltree.Cell]bool
+	for e := 0; e < len(mt.log); e++ {
 		cells := buckets[e]
 		if len(cells) == 0 {
 			continue
 		}
-		fired := make(map[*celltree.Cell]bool, len(cells))
-		for _, c := range cells {
-			fired[c] = true
-		}
-		mt.run.nU = ops[e].nAlive
-		// Push in current leaf order — the order the per-event sweep would
-		// have used — not bucket-append order.
-		for _, leaf := range mt.run.tr.Leaves(nil, nil) {
-			if !fired[leaf] {
-				continue
+		mt.run.nU = mt.log[e].nAlive
+		if mt.routed {
+			mt.pushFired(cells)
+			if seen == nil {
+				seen = make(map[*celltree.Cell]bool, len(cells))
 			}
-			mt.run.tr.Reactivate(leaf)
-			if !mt.run.seq.verify(leaf) {
-				mt.run.heap.Push(leaf, mt.run.priority(leaf))
+			for _, c := range cells {
+				if !seen[c] {
+					seen[c] = true
+					refresh = append(refresh, c)
+				}
+			}
+		} else {
+			fired := make(map[*celltree.Cell]bool, len(cells))
+			for _, c := range cells {
+				fired[c] = true
+			}
+			// Push in current leaf order — the order the per-event sweep
+			// would have used — not bucket-append order.
+			mt.leavesBuf = mt.run.tr.Leaves(nil, mt.leavesBuf[:0])
+			for _, leaf := range mt.leavesBuf {
+				if !fired[leaf] {
+					continue
+				}
+				mt.run.tr.Reactivate(leaf)
+				if !mt.run.seq.verify(leaf) {
+					mt.run.heap.Push(leaf, mt.run.priority(leaf))
+				}
 			}
 		}
 		mt.run.drain()
-		if e+1 < len(ops) {
+		if e+1 < len(mt.log) {
 			pprof.Do(context.Background(), pprof.Labels("mir_phase", "verify"), func(context.Context) {
 				for _, c := range cells {
-					sub = mt.run.tr.Leaves(c, sub[:0])
-					for _, leaf := range sub {
-						stage(leaf, e+1)
+					mt.subBuf = mt.run.tr.Leaves(c, mt.subBuf[:0])
+					for _, leaf := range mt.subBuf {
+						mt.stageLeaf(leaf, e+1, fire)
 					}
 				}
 			})
 		}
 	}
 	mt.run.nU = mt.nAlive
-	return handles, nil
+	if mt.routed {
+		for _, c := range refresh {
+			mt.refreshSubtree(c)
+			mt.pullUpChain(c.Parent())
+		}
+		if len(mt.log) >= routeLogCap {
+			mt.settleAll()
+		}
+	}
 }
 
 // pendingOf returns the leaf's pending group list (empty when absent).

@@ -69,6 +69,17 @@ type Options struct {
 	// byte-identical either way — so the switch exists for benchmarking
 	// and the differential property tests.
 	DisableTopKIndex bool
+	// DisableRouting turns off MBB-routed incremental maintenance: every
+	// arrival/departure event falls back to the historical full sweep that
+	// stages the event onto every leaf of the arrangement. Routing defers
+	// events on subtrees where conservative revival/demotion bounds prove
+	// no decision can flip, settling them lazily, so per-event cost tracks
+	// the event's geometric footprint instead of |tree|. Deferral changes
+	// only when per-leaf bookkeeping is brought current, never what any
+	// re-verification computes — maintained regions are byte-identical
+	// routing on or off for every worker count (the property tests pin
+	// this); the switch exists for benchmarking and those tests.
+	DisableRouting bool
 }
 
 // Stats aggregates the algorithm-level counters reported in the paper's
@@ -123,6 +134,19 @@ type Stats struct {
 	LayerPrunes     int64
 	IndexPatches    int64
 	IndexRebuilds   int64
+	// RoutedLeaves, SkippedSubtrees, and TouchedFrontier profile routed
+	// incremental maintenance (zero outside maintained runs; see
+	// celltree.Stats for the exact semantics). RoutedLeaves counts leaf
+	// visits by event application, SkippedSubtrees counts subtree/leaf
+	// deferrals proven safe by the routing bounds, and TouchedFrontier
+	// counts leaves bucketed for re-verification. RoutedLeaves and
+	// TouchedFrontier are deterministic across worker counts and routing
+	// settings' respective modes (the full sweep stages every leaf;
+	// routing's deferrals depend only on event geometry); all three merge
+	// by summation, order-free.
+	RoutedLeaves    int
+	SkippedSubtrees int
+	TouchedFrontier int
 	// CountDesyncs counts the removals of a user some leaf believed decided
 	// but whose halfspace then classified as cutting that leaf — an
 	// accounting desynchronization between a cell's InCount/OutCount and

@@ -64,6 +64,9 @@ func regionFromTree(tr *celltree.Tree, m int, st Stats) *Region {
 	st.Eliminated = tr.Stats.Eliminated
 	st.PruneLPTests = tr.Stats.PruneLPTests
 	st.PrunedRows = tr.Stats.PrunedRows
+	st.RoutedLeaves = tr.Stats.RoutedLeaves
+	st.SkippedSubtrees = tr.Stats.SkippedSubtrees
+	st.TouchedFrontier = tr.Stats.TouchedFrontier
 	// +=, not =: the hull-membership LPs ran core-side and are already in
 	// st; the tree's counters add the classification and redundancy solves.
 	st.addLP(tr.Stats.LP)

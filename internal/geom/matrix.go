@@ -71,9 +71,19 @@ func DotRows(flat []float64, d int, w Vector, out []float64) {
 // and the rows of flat. It is the bound-maintenance helper of the
 // layered index: a layer's per-dimension maxima, dotted with a
 // non-negative weight vector, upper-bound every score in the layer.
+// flat must hold whole rows (a multiple of d values) and max must have
+// length d; like DotRows, RowMax panics on a mismatch rather than
+// silently ignoring a ragged trailing partial row, which would leave
+// the bound unsound for whatever the caller meant the tail to be.
 func RowMax(flat []float64, d int, max []float64) {
 	if d == 0 {
 		return
+	}
+	if len(max) != d {
+		panic(fmt.Sprintf("geom: RowMax bound has %d components, want %d", len(max), d))
+	}
+	if len(flat)%d != 0 {
+		panic(fmt.Sprintf("geom: RowMax matrix has %d values, not a multiple of %d", len(flat), d))
 	}
 	for off := 0; off+d <= len(flat); off += d {
 		row := flat[off : off+d : off+d]

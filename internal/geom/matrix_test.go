@@ -75,3 +75,29 @@ func TestRowMaxWidens(t *testing.T) {
 		t.Fatalf("RowMax = %v, want [0.7 0.9]", max)
 	}
 }
+
+// TestRowMaxValidates pins the length contract: a ragged trailing partial
+// row or a mis-sized bound vector must panic like DotRows does, not be
+// silently ignored (a dropped tail would leave the layer bound unsound for
+// whatever the caller meant it to cover).
+func TestRowMaxValidates(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: RowMax did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ragged matrix", func() {
+		RowMax([]float64{0.1, 0.9, 0.7}, 2, []float64{0, 0})
+	})
+	mustPanic("short bound", func() {
+		RowMax([]float64{0.1, 0.9}, 2, []float64{0})
+	})
+	// Whole rows with a matching bound stay accepted, empty input included.
+	RowMax(nil, 2, []float64{0, 0})
+	RowMax([]float64{0.3, 0.4}, 2, []float64{0, 0})
+	RowMax([]float64{0.3}, 0, nil)
+}

@@ -95,6 +95,15 @@ type Options struct {
 	// the selection — every user's top-k-th product (identity and score)
 	// is byte-identical either way; the switch exists for benchmarking.
 	DisableTopKIndex bool
+	// DisableRouting turns off MBB-routed incremental maintenance on the
+	// dynamic path (Monitor): every arrival/departure falls back to a full
+	// sweep over the arrangement's leaves instead of a pruned descent that
+	// skips subtrees the event provably cannot affect. Routing changes only
+	// when per-leaf bookkeeping is brought current, never what any
+	// re-verification computes — maintained regions are byte-identical
+	// either way for every worker count; the switch exists for
+	// benchmarking.
+	DisableRouting bool
 }
 
 // Strategy selects AA's group-insertion order.
@@ -123,6 +132,7 @@ func (o *Options) toCore() core.Options {
 		DisablePruning:    o.DisableRedundancyPruning,
 		DisableWarmStart:  o.DisableWarmStart,
 		DisableTopKIndex:  o.DisableTopKIndex,
+		DisableRouting:    o.DisableRouting,
 	}
 }
 

@@ -123,6 +123,19 @@ type Stats struct {
 	LayerPrunes     int64
 	IndexPatches    int64
 	IndexRebuilds   int64
+	// RoutedLeaves, SkippedSubtrees, and TouchedFrontier profile the
+	// Monitor's routed incremental maintenance (zero outside maintained
+	// runs): leaves actually visited by event application, subtrees (or
+	// single leaves) skipped whole because the routing bounds proved no
+	// decision below could flip, and leaves bucketed for re-verification.
+	// RoutedLeaves per event is the locality metric of the routing
+	// optimization: it collapses when routing is on (Options.DisableRouting
+	// selects the historical every-leaf sweep) while the maintained region
+	// stays byte-identical. All three merge by summation and are
+	// deterministic for every worker count.
+	RoutedLeaves    int
+	SkippedSubtrees int
+	TouchedFrontier int
 	// CountDesyncs counts user removals the maintained arrangement could
 	// not account for: the departing user was neither pending nor cleanly
 	// classified on some leaf. It must stay zero; a nonzero value signals
@@ -156,6 +169,9 @@ func (r *Region) Stats() Stats {
 		LayerPrunes:      s.LayerPrunes,
 		IndexPatches:     s.IndexPatches,
 		IndexRebuilds:    s.IndexRebuilds,
+		RoutedLeaves:     s.RoutedLeaves,
+		SkippedSubtrees:  s.SkippedSubtrees,
+		TouchedFrontier:  s.TouchedFrontier,
 		CountDesyncs:     s.CountDesyncs,
 		StealCount:       s.StealCount,
 		MaxFrontier:      s.MaxFrontier,
