@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mir"
 	"mir/internal/eventq"
@@ -35,6 +37,11 @@ type epochSnap struct {
 	// observable before the 429 path fires: drains pinned at queue capacity
 	// mean maintenance is running behind ingest.
 	lastDrain int
+	// drainDur is how long that maintenance pass took (apply + snapshot
+	// rebuild). The 429 path derives its Retry-After hint from it: the last
+	// observed pass duration is the best available estimate of when queue
+	// capacity frees up.
+	drainDur time.Duration
 }
 
 // server is the standing mIR daemon: a Monitor owned by one writer
@@ -111,6 +118,7 @@ func (s *server) writerLoop() {
 		var more bool
 		buf, more = s.q.Drain(buf[:0])
 		if len(buf) > 0 {
+			passStart := time.Now()
 			events := make([]mir.MonitorEvent, len(buf))
 			for i, qe := range buf {
 				events[i] = qe.ev
@@ -136,6 +144,7 @@ func (s *server) writerLoop() {
 				lastDrain: len(buf),
 			}
 			next.cells = next.snap.Region().NumCells()
+			next.drainDur = time.Since(passStart)
 			s.cur.Store(next)
 			s.hub.notify()
 		}
@@ -168,10 +177,28 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// retryAfterHint converts the last observed maintenance-pass duration
+// into whole seconds for the Retry-After header: the queue frees up when
+// the current pass finishes, and the previous pass is the best estimate
+// of how long that takes. Clamped to [1, 30] — HTTP wants a positive
+// integer, and anything past half a minute says "come back later", not
+// "wait out this pass".
+func retryAfterHint(lastPass time.Duration) int {
+	secs := int(math.Ceil(lastPass.Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
 // tooBusy is the backpressure response: the queue is full because
-// maintenance is behind, so the client should retry after a beat.
-func tooBusy(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+// maintenance is behind, so the client should retry once the in-flight
+// pass has likely drained it.
+func (s *server) tooBusy(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterHint(s.cur.Load().drainDur)))
 	httpError(w, http.StatusTooManyRequests, "ingest queue full, retry")
 }
 
@@ -214,7 +241,7 @@ func (s *server) handleArrive(w http.ResponseWriter, r *http.Request) {
 		s.present[h] = true
 		writeJSON(w, http.StatusAccepted, map[string]int{"handle": h})
 	case eventq.ErrFull:
-		tooBusy(w)
+		s.tooBusy(w)
 	default:
 		httpError(w, http.StatusServiceUnavailable, "shutting down")
 	}
@@ -244,7 +271,7 @@ func (s *server) handleDepart(w http.ResponseWriter, r *http.Request) {
 		delete(s.present, h)
 		writeJSON(w, http.StatusAccepted, map[string]int{"handle": h})
 	case eventq.ErrFull:
-		tooBusy(w)
+		s.tooBusy(w)
 	default:
 		httpError(w, http.StatusServiceUnavailable, "shutting down")
 	}
@@ -318,15 +345,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.cur.Load()
 	st := es.snap.Region().Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":         es.epoch,
-		"numUsers":      es.snap.NumUsers(),
-		"numProducts":   len(s.products),
-		"cells":         es.cells,
-		"applied":       es.applied,
-		"queueLen":      s.q.Len(),
-		"queueCap":      s.q.Cap(),
-		"lastDrainSize": es.lastDrain,
-		"countDesyncs":  st.CountDesyncs,
+		"epoch":            es.epoch,
+		"numUsers":         es.snap.NumUsers(),
+		"numProducts":      len(s.products),
+		"cells":            es.cells,
+		"applied":          es.applied,
+		"queueLen":         s.q.Len(),
+		"queueCap":         s.q.Cap(),
+		"lastDrainSize":    es.lastDrain,
+		"lastDrainSeconds": es.drainDur.Seconds(),
+		"countDesyncs":     st.CountDesyncs,
 		// Routed-maintenance locality profile (cumulative since startup):
 		// leaves visited by event application, subtree skips proven safe,
 		// and leaves re-verified. routedLeaves/applied is the sublinearity

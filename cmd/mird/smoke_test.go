@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -330,8 +331,17 @@ func TestMirdSmokeValidationAndBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// The hint is derived from the last observed drain duration, clamped
+	// to [1, 30] seconds; no pass has run yet, so it must be the floor.
+	retryAfter, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("429 Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if retryAfter < 1 || retryAfter > 30 {
+		t.Fatalf("429 Retry-After %d outside [1, 30]", retryAfter)
+	}
+	if retryAfter != 1 {
+		t.Fatalf("429 Retry-After %d before any drain, want the 1s floor", retryAfter)
 	}
 
 	// Drain-then-shutdown: both queued departures must apply.
@@ -424,4 +434,64 @@ func TestMirdSmokeWatch(t *testing.T) {
 	}
 	cancel() // release the watch handler before stopping
 	srv.stop()
+}
+
+// TestRetryAfterHint pins the drain-duration → Retry-After mapping:
+// ceiling to whole seconds, clamped to [1, 30].
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},                     // no drain observed yet: the floor
+		{10 * time.Millisecond, 1}, // sub-second passes round up to 1
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{4500 * time.Millisecond, 5},
+		{29*time.Second + 500*time.Millisecond, 30},
+		{45 * time.Second, 30}, // ceiling
+		{5 * time.Minute, 30},
+	}
+	for _, tc := range cases {
+		if got := retryAfterHint(tc.d); got != tc.want {
+			t.Errorf("retryAfterHint(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestStatsLastDrainSeconds pins that /stats exposes the observed drain
+// interval once a pass has run — the same number the 429 hint derives
+// from.
+func TestStatsLastDrainSeconds(t *testing.T) {
+	mo, products := testMonitor(t, 100, 8, 3, 4, 4)
+	srv := newServer(mo, products, 8)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if status, _ := deleteUser(client, ts.URL, 0); status != http.StatusAccepted {
+		t.Fatalf("departure not accepted: %d", status)
+	}
+	srv.start()
+	srv.stop() // drains the queue, so one pass has definitely run
+
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	secs, ok := stats["lastDrainSeconds"].(float64)
+	if !ok {
+		t.Fatalf("stats missing lastDrainSeconds: %v", stats)
+	}
+	if secs <= 0 || secs > 60 {
+		t.Fatalf("lastDrainSeconds %g implausible for a one-event drain", secs)
+	}
+	if size, _ := stats["lastDrainSize"].(float64); size != 1 {
+		t.Fatalf("lastDrainSize %v, want 1", stats["lastDrainSize"])
+	}
 }

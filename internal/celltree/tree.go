@@ -262,6 +262,26 @@ func New(box *geom.Polytope) *Tree {
 	return t
 }
 
+// NewRooted creates a tree over box whose root carries the given ID and
+// depth instead of the canonical {0, 0}. It is the shard-root constructor
+// of the space-sharded arrangement: the recursive bisection that carves
+// the product space into 2^j shard boxes is a virtual top-level tree, and
+// each shard's root takes the heap-numbered ID of its virtual node (lower
+// child 2i+1, upper child 2i+2 from a virtual root 0) at depth j. Every
+// descendant then derives its ID from that prefix exactly as New's trees
+// do from 0, so for a fixed shard count the IDs across the whole shard
+// forest stay path-derived, globally unique (up to depth 62), and
+// independent of how shard or frontier work was scheduled.
+func NewRooted(box *geom.Polytope, rootID, rootDepth int) *Tree {
+	t := New(box)
+	t.Root.ID = rootID
+	t.Root.Depth = rootDepth
+	if rootDepth > t.Stats.MaxDepth {
+		t.Stats.MaxDepth = rootDepth
+	}
+	return t
+}
+
 // Shard is a mutation context for the tree: it owns the scratch buffers a
 // split needs and a Stats accumulator for every counter the mutation
 // updates. One shard must be used by at most one goroutine at a time, and
@@ -271,6 +291,10 @@ func New(box *geom.Polytope) *Tree {
 type Shard struct {
 	tr *Tree
 	st *Stats
+
+	// absorbed marks a worker shard whose stats were already folded into
+	// the tree; AbsorbShard panics on a second fold (see there).
+	absorbed bool
 
 	// Reusable SplitBy scratch.
 	pathBuf  []geom.Halfspace
@@ -283,14 +307,25 @@ func (tr *Tree) NewShard() *Shard {
 	return &Shard{tr: tr, st: &Stats{}}
 }
 
-// AbsorbShard folds a worker shard's counters into the tree's Stats. Call
-// it from a single goroutine after all shard work has completed; absorbing
-// shards in any order yields identical totals (see Stats.Merge).
+// AbsorbShard folds a worker shard's counters into the tree's Stats and
+// retires the shard. Call it from a single goroutine after all shard work
+// has completed; absorbing shards in any order yields identical totals
+// (see Stats.Merge). Absorbing the same shard twice panics: a retired
+// shard's accumulator is spent, so a second fold is always a lifecycle
+// bug — either an aliased shard or a worker kept running past the join —
+// that would silently corrupt whatever stats the shard had gathered since.
+// The tree's built-in shard (OwnShard) writes into Tree.Stats directly and
+// absorbing it is a harmless no-op.
 func (tr *Tree) AbsorbShard(sh *Shard) {
-	if sh.st != &tr.Stats {
-		tr.Stats.Merge(*sh.st)
-		*sh.st = Stats{}
+	if sh.st == &tr.Stats {
+		return
 	}
+	if sh.absorbed {
+		panic("celltree: AbsorbShard called twice on the same shard")
+	}
+	sh.absorbed = true
+	tr.Stats.Merge(*sh.st)
+	*sh.st = Stats{}
 }
 
 // Stats returns the shard's counter accumulator; read-side classification

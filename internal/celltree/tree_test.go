@@ -304,6 +304,56 @@ func TestShardSplitMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestAbsorbShardTwicePanics pins the double-absorb guard: folding the
+// same worker shard into the tree twice would re-add counters that were
+// already merged, so the second call must panic instead of silently
+// corrupting Stats. The tree's own shard aliases Tree.Stats and stays
+// absorbable any number of times (each fold is a no-op).
+func TestAbsorbShardTwicePanics(t *testing.T) {
+	tr := unitTree(2)
+	sh := tr.NewShard()
+	sh.SplitBy(tr.Root, geom.Halfspace{W: geom.Vector{1, 0}, T: 0.5})
+	tr.AbsorbShard(sh)
+	want := tr.Stats
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second AbsorbShard did not panic")
+			}
+		}()
+		tr.AbsorbShard(sh)
+	}()
+	if tr.Stats != want {
+		t.Fatalf("stats changed across the panicking absorb:\nbefore %+v\nafter  %+v", want, tr.Stats)
+	}
+	// The built-in shard is exempt: it already writes through Tree.Stats.
+	tr.AbsorbShard(tr.OwnShard())
+	tr.AbsorbShard(tr.OwnShard())
+	if tr.Stats != want {
+		t.Fatalf("OwnShard absorb mutated stats:\nbefore %+v\nafter  %+v", want, tr.Stats)
+	}
+}
+
+// TestNewRooted pins the shard-root constructor: the root takes the
+// caller's virtual heap ID and depth, descendants derive path IDs from
+// that prefix, and MaxDepth starts at the root's depth.
+func TestNewRooted(t *testing.T) {
+	tr := NewRooted(geom.NewBox(2, 0, 1), 4, 2)
+	if tr.Root.ID != 4 || tr.Root.Depth != 2 {
+		t.Fatalf("root = {ID %d, Depth %d}, want {4, 2}", tr.Root.ID, tr.Root.Depth)
+	}
+	if tr.Stats.MaxDepth != 2 {
+		t.Fatalf("MaxDepth = %d, want 2", tr.Stats.MaxDepth)
+	}
+	l, r := tr.SplitBy(tr.Root, geom.Halfspace{W: geom.Vector{1, 0}, T: 0.5})
+	if l.ID != 9 || r.ID != 10 {
+		t.Fatalf("children of root 4 = %d, %d; want 9, 10", l.ID, r.ID)
+	}
+	if l.Depth != 3 || r.Depth != 3 || tr.Stats.MaxDepth != 3 {
+		t.Fatalf("child depths %d/%d, MaxDepth %d; want 3/3/3", l.Depth, r.Depth, tr.Stats.MaxDepth)
+	}
+}
+
 // TestHeapPopReleasesCell: the truncated backing array must not keep a
 // popped cell alive — popped-and-eliminated cells should be collectable,
 // so the vacated slot has to be zeroed.

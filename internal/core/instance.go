@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"mir/internal/geom"
 	"mir/internal/par"
@@ -66,6 +67,29 @@ type Instance struct {
 
 	// wFlat is the row-major |U|×d backing of the halfspace normals.
 	wFlat []float64
+
+	// bands caches the banded box-corner prescreen bounds over the
+	// halfspace normals and thresholds (built on first use; see
+	// HalfspaceBands).
+	bands     *topk.HalfspaceBands
+	bandsOnce sync.Once
+}
+
+// HalfspaceBands returns the blocked band bounds over the instance's
+// influential halfspaces (normals from wFlat, thresholds from HS), built
+// lazily on first use. The space-sharded AA prescreens each shard box
+// with them so a shard only classifies halfspaces whose boundary can
+// intersect its box. The bands are immutable once built and safe for
+// concurrent Prescreen calls.
+func (inst *Instance) HalfspaceBands() *topk.HalfspaceBands {
+	inst.bandsOnce.Do(func() {
+		t := make([]float64, len(inst.HS))
+		for i, h := range inst.HS {
+			t[i] = h.T
+		}
+		inst.bands = topk.NewHalfspaceBands(inst.wFlat, inst.Dim, t)
+	})
+	return inst.bands
 }
 
 // NewInstance validates the inputs and performs the all-top-k

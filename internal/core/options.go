@@ -32,6 +32,31 @@ type Options struct {
 	// exceed the sequential numbers (classification past a sequential
 	// early-exit point is wasted rather than skipped).
 	Workers int
+	// Shards pre-splits product space into 2^j disjoint top-level boxes
+	// (axis-aligned recursive bisection; the largest power of two <=
+	// Shards) and runs a fully independent AA per box: its own cell tree,
+	// staging heap, frontier scheduler, and stats accumulator, with the
+	// shard's halfspace set prescreened against the box by banded corner
+	// bounds so only halfspaces whose boundary can intersect the box are
+	// ever classified inside it. Shard regions concatenate in shard-ID
+	// order. 0 or 1 (the default) selects the historical single-tree
+	// path. Sharding is a one-shot build strategy: it applies to AA (and
+	// the public ImpactRegion); maintained runs (Maintainer / Monitor)
+	// always build single-tree, whose incremental bookkeeping assumes one
+	// arrangement.
+	//
+	// Determinism contract: for a fixed shard count the merged region and
+	// all algorithmic stats are byte-identical for every Workers setting,
+	// and Shards <= 1 is byte-identical to the unsharded build. Across
+	// different shard counts the region covers exactly the same point set
+	// (property-tested against the coverage oracle) but its cell
+	// decomposition differs: shard boundaries are midplane cuts the
+	// unsharded arrangement never makes. See DESIGN.md §12.
+	Shards int
+	// DisableSharding forces the single-tree path regardless of Shards —
+	// the escape hatch (and ablation switch) when a caller sets Shards
+	// globally but one run needs the historical build.
+	DisableSharding bool
 	// GroupChoice picks the insertion group (Figure 17a).
 	GroupChoice GroupChoice
 	// DisableFastTest turns off the MBB filter-and-refine tests of
@@ -154,6 +179,17 @@ type Stats struct {
 	// when it doesn't, and a nonzero value means the affected leaf's counts
 	// were left untouched (the removal had nothing sound to undo).
 	CountDesyncs int64
+	// ShardHalfspaces and PrescreenedOut profile the space-sharded build
+	// (both zero on single-tree runs). Summed over shards: PrescreenedOut
+	// counts halfspaces the banded box-corner prescreen absorbed into a
+	// shard root's counts (their boundary provably misses the shard box —
+	// they cost O(d) instead of per-cell classification down the shard's
+	// tree), and ShardHalfspaces counts the survivors that entered the
+	// shard's pending views. ShardHalfspaces + PrescreenedOut ==
+	// Shards × |U|. Both are deterministic for a fixed shard count and
+	// merge by summation, order-free.
+	ShardHalfspaces int64
+	PrescreenedOut  int64
 	// StealCount counts successful frontier steals and MaxFrontier is the
 	// high-water mark of in-flight cells. Unlike every counter above, the
 	// two are scheduling-sensitive at Workers > 1 (they vary run to run)

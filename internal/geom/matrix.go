@@ -94,3 +94,29 @@ func RowMax(flat []float64, d int, max []float64) {
 		}
 	}
 }
+
+// RowMin widens min (length d) to the componentwise minimum of itself
+// and the rows of flat: the lower-band counterpart of RowMax. The pair
+// brackets every row of a block between two vectors, which is what the
+// halfspace prescreen of the space-sharded arrangement dots against box
+// corners to decide whole blocks at once. Same contract as RowMax: flat
+// must hold whole rows and min must have length d, or RowMin panics.
+func RowMin(flat []float64, d int, min []float64) {
+	if d == 0 {
+		return
+	}
+	if len(min) != d {
+		panic(fmt.Sprintf("geom: RowMin bound has %d components, want %d", len(min), d))
+	}
+	if len(flat)%d != 0 {
+		panic(fmt.Sprintf("geom: RowMin matrix has %d values, not a multiple of %d", len(flat), d))
+	}
+	for off := 0; off+d <= len(flat); off += d {
+		row := flat[off : off+d : off+d]
+		for j, x := range row {
+			if x < min[j] {
+				min[j] = x
+			}
+		}
+	}
+}

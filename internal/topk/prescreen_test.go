@@ -1,0 +1,145 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"mir/internal/geom"
+)
+
+// referencePrescreen is the unblocked per-row oracle: the sign-split MBB
+// corner bound under the ClassifyTol slab convention, row by row.
+func referencePrescreen(flat []float64, d int, t []float64, lo, hi geom.Vector) []geom.Relation {
+	out := make([]geom.Relation, len(t))
+	for i := range t {
+		row := flat[i*d : (i+1)*d]
+		l, h := 0.0, 0.0
+		for j, w := range row {
+			if w >= 0 {
+				l += w * lo[j]
+				h += w * hi[j]
+			} else {
+				l += w * hi[j]
+				h += w * lo[j]
+			}
+		}
+		switch {
+		case l >= t[i]-geom.ClassifyTol:
+			out[i] = geom.Covers
+		case h <= t[i]+geom.ClassifyTol:
+			out[i] = geom.Excludes
+		default:
+			out[i] = geom.Cuts
+		}
+	}
+	return out
+}
+
+// TestPrescreenMatchesReference is the differential property: for random
+// normals (mixed sign), thresholds, and boxes, the banded prescreen must
+// agree with the per-row oracle on every halfspace — block skips and the
+// DotRows fast path may only change the work, never the answer.
+func TestPrescreenMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		d := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(300)
+		flat := make([]float64, n*d)
+		for i := range flat {
+			flat[i] = rng.Float64()
+			if trial%3 == 0 { // every third trial exercises mixed signs
+				flat[i] = rng.Float64()*2 - 1
+			}
+		}
+		th := make([]float64, n)
+		for i := range th {
+			th[i] = rng.Float64() * float64(d) * 0.7
+		}
+		b := NewHalfspaceBands(flat, d, th)
+		lo := make(geom.Vector, d)
+		hi := make(geom.Vector, d)
+		for j := 0; j < d; j++ {
+			a, c := rng.Float64(), rng.Float64()
+			if a > c {
+				a, c = c, a
+			}
+			lo[j], hi[j] = a, c
+		}
+		out := make([]geom.Relation, n)
+		st := b.Prescreen(lo, hi, out)
+		want := referencePrescreen(flat, d, th, lo, hi)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("trial %d (n=%d d=%d) row %d: prescreen %v, reference %v",
+					trial, n, d, i, out[i], want[i])
+			}
+		}
+		covers, excludes, cuts := 0, 0, 0
+		for _, rl := range want {
+			switch rl {
+			case geom.Covers:
+				covers++
+			case geom.Excludes:
+				excludes++
+			default:
+				cuts++
+			}
+		}
+		// Block-skipped rows are counted under Covers/Excludes, never Cuts.
+		if st.Covers != covers || st.Excludes != excludes || st.Cuts != cuts {
+			t.Fatalf("trial %d: stats %+v, want covers=%d excludes=%d cuts=%d",
+				trial, st, covers, excludes, cuts)
+		}
+	}
+}
+
+// TestPrescreenBlockSkip pins that uniform blocks are decided whole: a
+// matrix of near-identical nonnegative rows against a box far inside (or
+// outside) the halfspaces must skip every block.
+func TestPrescreenBlockSkip(t *testing.T) {
+	const d, n = 3, 256
+	flat := make([]float64, n*d)
+	th := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			flat[i*d+j] = 0.3 + 0.001*float64(i%7)
+		}
+		th[i] = 0.1 + 0.0001*float64(i%5)
+	}
+	b := NewHalfspaceBands(flat, d, th)
+	out := make([]geom.Relation, n)
+
+	// Box at the high corner: every score >= 3 × 0.3 × 0.8 = 0.72 > tMax.
+	st := b.Prescreen(geom.Vector{0.8, 0.8, 0.8}, geom.Vector{1, 1, 1}, out)
+	if st.BlockSkips != (n+prescreenBlockRows-1)/prescreenBlockRows || st.Covers != n {
+		t.Fatalf("cover case: %+v", st)
+	}
+	// Box at the origin: every score <= 3 × 0.307 × 0.05 < tMin.
+	st = b.Prescreen(geom.Vector{0, 0, 0}, geom.Vector{0.05, 0.05, 0.05}, out)
+	if st.BlockSkips != (n+prescreenBlockRows-1)/prescreenBlockRows || st.Excludes != n {
+		t.Fatalf("exclude case: %+v", st)
+	}
+}
+
+// TestPrescreenPanics pins the input validation.
+func TestPrescreenPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("ragged matrix", func() {
+		NewHalfspaceBands(make([]float64, 5), 2, make([]float64, 3))
+	})
+	b := NewHalfspaceBands(make([]float64, 6), 2, make([]float64, 3))
+	expectPanic("bad box", func() {
+		b.Prescreen(geom.Vector{0}, geom.Vector{1, 1}, make([]geom.Relation, 3))
+	})
+	expectPanic("bad out", func() {
+		b.Prescreen(geom.Vector{0, 0}, geom.Vector{1, 1}, make([]geom.Relation, 2))
+	})
+}
