@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-hammer mird-smoke bench-smoke bench bench-json bench-topk bench-dyn bench-shard bench-check ci
+.PHONY: all vet build test race race-hammer mird-smoke bench-smoke fuzz-smoke bench bench-json bench-topk bench-dyn bench-shard bench-check ci
 
 all: ci
 
@@ -34,11 +34,23 @@ race-hammer:
 mird-smoke:
 	$(GO) test -race -count=1 -run 'MirdSmoke' ./cmd/mird
 
-# One iteration of the sequential-vs-parallel benchmark pair, as a smoke
-# test that the instrumented paths still run (timings are not meaningful at
-# -benchtime=1x).
+# One iteration of the sequential-vs-parallel benchmark pair plus the
+# numeric-kernel suite, as a smoke test that the instrumented paths still
+# run (timings are not meaningful at -benchtime=1x).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkAllTopK|BenchmarkAAParallel' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkKernels' -benchtime 1x -benchmem ./internal/kern
+
+# Differential fuzzing of the numeric kernels against their verbatim
+# scalar references (10s per fuzzer; the committed corpora under
+# testdata/fuzz seed the tricky float shapes — signed zeros, Inf, NaN,
+# subnormals). `go test -fuzz` accepts one fuzz target per invocation, so
+# each fuzzer gets its own anchored run.
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzKernelDotRows$$' -fuzztime 10s ./internal/kern
+	$(GO) test -fuzz '^FuzzKernelRowMaxMin$$' -fuzztime 10s ./internal/kern
+	$(GO) test -fuzz '^FuzzKernelEliminate$$' -fuzztime 10s ./internal/kern
+	$(GO) test -fuzz '^FuzzKernelPivotParity$$' -fuzztime 10s ./internal/lp
 
 # Full in-repo Go benchmarks with allocation reporting (the numbers quoted
 # in EXPERIMENTS.md).
@@ -94,7 +106,12 @@ bench-dyn:
 # speedup at Shards=8/Workers=8 vs Shards=1 is enforced directly (on
 # smaller hosts there is no parallelism to measure, so wall never gates —
 # the balance bound is the machine-independent form of the same
-# contract).
+# contract). The AA run also gates kernel identity fresh-vs-fresh: the
+# scalar-kernels ablation row's stats (pivots included) must equal its
+# kernels-on twin exactly. The TOPK run gates the kernel scan-wall sweep:
+# scoring the full product matrix through the blocked kernels must beat
+# the historical scalar loops by >=2x in aggregate (both sides measured
+# in the same process, so machine speed divides out).
 bench-shard:
 	$(GO) run ./cmd/mirbench -json BENCH_AA.ci.json -baseline BENCH_AA.json
 
@@ -102,4 +119,4 @@ bench-check: bench-shard
 	$(GO) run ./cmd/mirbench -json-topk BENCH_TOPK.ci.json -baseline-topk BENCH_TOPK.json
 	$(GO) run ./cmd/mirbench -json-dyn BENCH_DYN.ci.json -baseline-dyn BENCH_DYN.json
 
-ci: vet build race race-hammer mird-smoke bench-smoke
+ci: vet build race race-hammer mird-smoke bench-smoke fuzz-smoke

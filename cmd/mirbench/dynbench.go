@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
 	"mir/internal/core"
@@ -96,13 +95,10 @@ type dynResult struct {
 
 // dynReport is the top-level BENCH_DYN.json document.
 type dynReport struct {
-	Command   string      `json:"command"`
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	NumCPU    int         `json:"num_cpu"`
-	Seed      int64       `json:"seed"`
-	Results   []dynResult `json:"results"`
+	Command string `json:"command"`
+	hostMeta
+	Seed    int64       `json:"seed"`
+	Results []dynResult `json:"results"`
 }
 
 // dynScript builds a reproducible session stream over a finite user pool:
@@ -178,12 +174,9 @@ var dynMatrix = []struct {
 // report to path; with a baseline it then gates through checkDynBaseline.
 func runDynBench(cfg config, path, baselinePath string) error {
 	report := dynReport{
-		Command:   "mirbench -json-dyn",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Seed:      cfg.seed,
+		Command:  "mirbench -json-dyn",
+		hostMeta: currentHost(),
+		Seed:     cfg.seed,
 	}
 	for _, dataset := range []string{"IND", "ANTI"} {
 		for ti, nU := range dynBenchUsers {

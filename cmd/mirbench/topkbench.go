@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 
+	"mir/internal/geom"
 	"mir/internal/topk"
 )
 
@@ -44,6 +44,24 @@ const (
 // index actually scored. The counters behind it are deterministic, so
 // the gate is exact — no tolerance.
 const minTopkScanRatio = 5.0
+
+// The kernel scan-wall sweep: for every d-sweep cell the full product
+// matrix is scored against a fixed panel of the cell's first
+// topkScanPanel users, once through the blocked kernels
+// (geom.DotRows) and once through the historical scalar loops
+// (geom.DotRowsScalar), same process, fresh-vs-fresh. This is the
+// dot-product wall the layered index spends on every granule bound and
+// block scan, isolated from heap traffic and index bookkeeping so the
+// ratio measures the kernels and nothing else. The aggregate ratio
+// (total scalar wall / total kernel wall across the matrix) must reach
+// minKernelScanSpeedup; the per-cell ratios are recorded for the
+// committed report. topkScanReps panel passes amortize timer
+// resolution within each measured run.
+const (
+	topkScanPanel        = 64
+	topkScanReps         = 3
+	minKernelScanSpeedup = 2.0
+)
 
 // topkScanRegressionTolerance is the allowed growth of a cell's
 // scanned-products/user over the committed baseline. Like the allocs/op
@@ -86,18 +104,28 @@ type topkBenchResult struct {
 	LayerPrunesPerUser float64 `json:"layer_prunes_per_user"`
 	SkybandSize        int     `json:"skyband_size"`
 	Ratio              float64 `json:"ratio"`
+
+	// ScanWallSeconds and ScanWallScalarSeconds are the kernel scan-wall
+	// sweep (see the constants above): the wall of scoring the full
+	// product matrix against the cell's user panel through the blocked
+	// kernels and through the historical scalar loops. ScanSpeedup is
+	// their ratio. Populated on the d-sweep cells only.
+	ScanWallSeconds       float64 `json:"scan_wall_seconds,omitempty"`
+	ScanWallScalarSeconds float64 `json:"scan_wall_scalar_seconds,omitempty"`
+	ScanSpeedup           float64 `json:"scan_speedup,omitempty"`
 }
 
 // topkBenchReport is the top-level BENCH_TOPK.json document.
 type topkBenchReport struct {
-	Command        string            `json:"command"`
-	GoVersion      string            `json:"go_version"`
-	GOOS           string            `json:"goos"`
-	GOARCH         string            `json:"goarch"`
-	NumCPU         int               `json:"num_cpu"`
-	Seed           int64             `json:"seed"`
-	AggregateRatio float64           `json:"aggregate_ratio"`
-	Results        []topkBenchResult `json:"results"`
+	Command string `json:"command"`
+	hostMeta
+	Seed           int64   `json:"seed"`
+	AggregateRatio float64 `json:"aggregate_ratio"`
+	// ScanSpeedup is the aggregate kernel scan-wall ratio: total scalar
+	// sweep wall over total kernel sweep wall across every measured
+	// cell. Gated at minKernelScanSpeedup by checkKernelScanSpeedup.
+	ScanSpeedup float64           `json:"scan_speedup"`
+	Results     []topkBenchResult `json:"results"`
 }
 
 // topkBenchCells is the measured grid: the d-sweep at |U|=20,000 for
@@ -119,12 +147,9 @@ var topkBenchCells = []struct {
 // gated against the committed reference (see checkTopkBaseline).
 func runTopkBench(cfg config, path, baselinePath string) error {
 	report := topkBenchReport{
-		Command:   "mirbench -json-topk",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Seed:      cfg.seed,
+		Command:  "mirbench -json-topk",
+		hostMeta: currentHost(),
+		Seed:     cfg.seed,
 	}
 	var naiveTotal, indexedTotal float64
 	for off, cell := range topkBenchCells {
@@ -163,6 +188,44 @@ func runTopkBench(cfg config, path, baselinePath string) error {
 		}
 		res.WallSeconds = best
 
+		// The scalar-kernel twin: the same index rerun on the historical
+		// scalar loops. The kernels are bit-identical, so every result and
+		// both search counters must match exactly — the scanned/user the
+		// baseline gates is unchanged by the kernel setting, which is what
+		// lets the scan-wall speedup below claim a free lunch.
+		if cell.users <= topkNaiveUserCap {
+			ix.SetKernels(false)
+			scalarRes, scalarSt := ix.AllTopKWorkers(us, 1)
+			ix.SetKernels(true)
+			if scalarSt != st {
+				return fmt.Errorf("%s d=%d |U|=%d: search counters diverge kernels on/off: %+v vs %+v",
+					cell.dataset, cell.dim, cell.users, st, scalarSt)
+			}
+			for i := range scalarRes {
+				if scalarRes[i] != indexed[i] {
+					return fmt.Errorf("%s d=%d |U|=%d user %d: kernels %+v vs scalar %+v",
+						cell.dataset, cell.dim, cell.users, i, indexed[i], scalarRes[i])
+				}
+			}
+		}
+
+		// The kernel scan-wall sweep, on the d-sweep cells (the users
+		// axis reuses the d=3 matrix and would re-measure the same flat).
+		if cell.users == 20_000 {
+			flat := make([]float64, 0, len(ps)*cell.dim)
+			for _, p := range ps {
+				flat = append(flat, p...)
+			}
+			panel := make([]geom.Vector, 0, topkScanPanel)
+			for i := 0; i < topkScanPanel && i < len(us); i++ {
+				panel = append(panel, us[i].W)
+			}
+			out := make([]float64, len(ps))
+			res.ScanWallSeconds = scanWall(flat, cell.dim, panel, out, geom.DotRows)
+			res.ScanWallScalarSeconds = scanWall(flat, cell.dim, panel, out, geom.DotRowsScalar)
+			res.ScanSpeedup = res.ScanWallScalarSeconds / res.ScanWallSeconds
+		}
+
 		res.SkybandSize = len(topk.Skyband(ps, topkBenchK))
 		if cell.users <= topkNaiveUserCap {
 			var naive []topk.KthResult
@@ -183,6 +246,14 @@ func runTopkBench(cfg config, path, baselinePath string) error {
 			res.NaiveWallSeconds, res.ScannedPerUser, res.SkybandSize, res.Ratio)
 	}
 	report.AggregateRatio = naiveTotal / indexedTotal
+	var scanFast, scanScalar float64
+	for _, r := range report.Results {
+		scanFast += r.ScanWallSeconds
+		scanScalar += r.ScanWallScalarSeconds
+	}
+	if scanFast > 0 {
+		report.ScanSpeedup = scanScalar / scanFast
+	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -198,8 +269,59 @@ func runTopkBench(cfg config, path, baselinePath string) error {
 		return fmt.Errorf("indexed engine scanned too much: aggregate reduction %.2fx < required %.1fx",
 			report.AggregateRatio, minTopkScanRatio)
 	}
+	if err := checkKernelScanSpeedup(report); err != nil {
+		return err
+	}
 	if baselinePath != "" {
 		return checkTopkBaseline(report, baselinePath)
+	}
+	return nil
+}
+
+// scanWall measures one side of the kernel scan-wall sweep: the best of
+// topkBenchRuns measured runs, each scoring the full flat product
+// matrix against every panel weight topkScanReps times through dot.
+// The two sides run the identical loop with only the dot function
+// swapped, so their ratio isolates the kernel.
+func scanWall(flat []float64, d int, panel []geom.Vector,
+	out []float64, dot func([]float64, int, geom.Vector, []float64)) float64 {
+	best := -1.0
+	for r := 0; r < topkBenchRuns; r++ {
+		wall := timeIt(func() {
+			for rep := 0; rep < topkScanReps; rep++ {
+				for _, w := range panel {
+					dot(flat, d, w, out)
+				}
+			}
+		})
+		if best < 0 || wall < best {
+			best = wall
+		}
+	}
+	return best
+}
+
+// checkKernelScanSpeedup gates the kernel sweep: the aggregate
+// scalar/kernel wall ratio must reach minKernelScanSpeedup. Both sides
+// are measured in the same process moments apart (fresh vs fresh), so
+// machine speed divides out and the gate holds on any host.
+func checkKernelScanSpeedup(report topkBenchReport) error {
+	cells := 0
+	for _, r := range report.Results {
+		if r.ScanWallSeconds > 0 {
+			cells++
+			fmt.Printf("kernel scan %-5s d=%d: %7.4fs kernels vs %7.4fs scalar  %.2fx\n",
+				r.Dataset, r.Dim, r.ScanWallSeconds, r.ScanWallScalarSeconds, r.ScanSpeedup)
+		}
+	}
+	if cells == 0 {
+		fmt.Println("kernel scan: no sweep cells in report; skipping")
+		return nil
+	}
+	fmt.Printf("kernel scan aggregate: %.2fx (floor %.1fx)\n", report.ScanSpeedup, minKernelScanSpeedup)
+	if report.ScanSpeedup < minKernelScanSpeedup {
+		return fmt.Errorf("kernel scan speedup %.2fx below required %.1fx",
+			report.ScanSpeedup, minKernelScanSpeedup)
 	}
 	return nil
 }

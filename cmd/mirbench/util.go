@@ -161,6 +161,33 @@ func (c config) instance(pKind, uKind string, nP, nU, d, k int, off int64) *core
 	return inst
 }
 
+// hostMeta records the measuring host's facts at the top of every
+// BENCH_* report: toolchain, platform, CPU count, and whether the
+// default rows ran the blocked numeric kernels. Gates that depend on
+// the measuring machine (the shard wall floor keys off CPU count) read
+// these committed facts rather than interrogating the machine that
+// happens to re-run the check, so a report gates the same way on every
+// host. Kernels is the report-wide default; ablation rows that flip it
+// carry their own per-row flag.
+type hostMeta struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Kernels   bool   `json:"kernels"`
+}
+
+// currentHost snapshots the running machine for a fresh report.
+func currentHost() hostMeta {
+	return hostMeta{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Kernels:   true,
+	}
+}
+
 // timeIt runs f and returns the wall-clock seconds.
 func timeIt(f func()) float64 {
 	start := time.Now()

@@ -149,6 +149,7 @@ func (r *aaRun) seedRootPrescreened(rel []geom.Relation) {
 	r.seq = &aaWorker{r: r, sh: r.tr.OwnShard(), st: &r.st, fanout: r.workers()}
 	r.tr.Prune = !r.opts.DisablePruning
 	r.tr.WarmStart = !r.opts.DisableWarmStart
+	r.tr.Kernels = !r.opts.DisableKernels
 	root := r.tr.Root
 	if root.Status != celltree.Active {
 		return
@@ -783,12 +784,12 @@ func (w *aaWorker) classifyByHullParallel(c *celltree.Cell, v *view) (gc, ge, gi
 		switch {
 		case len(vcPts) > 0 && func() bool {
 			hullTests[g]++
-			return geom.InConvexHullCounted(inst.WProj[ui], vcPts, &hullLP[g])
+			return geom.InConvexHullCounted(inst.WProj[ui], vcPts, &hullLP[g], r.opts.DisableKernels)
 		}():
 			memRel[pos] = geom.Covers
 		case len(vePts) > 0 && func() bool {
 			hullTests[g]++
-			return geom.InConvexHullCounted(inst.WProj[ui], vePts, &hullLP[g])
+			return geom.InConvexHullCounted(inst.WProj[ui], vePts, &hullLP[g], r.opts.DisableKernels)
 		}():
 			memRel[pos] = geom.Excludes
 		default:
@@ -824,7 +825,7 @@ func (w *aaWorker) classifyByHullParallel(c *celltree.Cell, v *view) (gc, ge, gi
 func (w *aaWorker) inHull(q geom.Vector, pts []geom.Vector) bool {
 	w.st.HullTests++
 	var d lp.Counters
-	in := geom.InConvexHullCounted(q, pts, &d)
+	in := geom.InConvexHullCounted(q, pts, &d, w.r.opts.DisableKernels)
 	w.st.addLP(d)
 	return in
 }

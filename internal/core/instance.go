@@ -68,6 +68,11 @@ type Instance struct {
 	// wFlat is the row-major |U|×d backing of the halfspace normals.
 	wFlat []float64
 
+	// scalarKernels records Options.DisableKernels for the instance's
+	// lazily built numeric structures (the halfspace bands): bit-identical
+	// either way, it only selects which loops spend the wall time.
+	scalarKernels bool
+
 	// bands caches the banded box-corner prescreen bounds over the
 	// halfspace normals and thresholds (built on first use; see
 	// HalfspaceBands).
@@ -87,7 +92,7 @@ func (inst *Instance) HalfspaceBands() *topk.HalfspaceBands {
 		for i, h := range inst.HS {
 			t[i] = h.T
 		}
-		inst.bands = topk.NewHalfspaceBands(inst.wFlat, inst.Dim, t)
+		inst.bands = topk.NewHalfspaceBandsKernels(inst.wFlat, inst.Dim, t, !inst.scalarKernels)
 	})
 	return inst.bands
 }
@@ -148,14 +153,16 @@ func NewInstanceOpts(products []geom.Vector, users []topk.UserPref, opts Options
 
 	workers := opts.Workers
 	inst := &Instance{
-		Products: products,
-		Users:    users,
-		Dim:      d,
+		Products:      products,
+		Users:         users,
+		Dim:           d,
+		scalarKernels: opts.DisableKernels,
 	}
 	if opts.DisableTopKIndex {
 		inst.Kth = topk.AllTopKWorkers(products, users, workers)
 	} else {
 		inst.TopKIndex = topk.NewIndex(products)
+		inst.TopKIndex.SetKernels(!opts.DisableKernels)
 		inst.Kth, inst.Prep = inst.TopKIndex.AllTopKWorkers(users, workers)
 	}
 	inst.HS = make([]geom.Halfspace, len(users))

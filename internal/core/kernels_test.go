@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKernelsOffByteIdentical pins the strongest determinism contract in
+// the options surface: DisableKernels changes NOTHING observable. The
+// blocked kernels reproduce the historical scalar loops bit for bit, so —
+// unlike DisableWarmStart, which moves the pivot counters — the finished
+// arrangement (leaf IDs, statuses, counts, depths), the exported region,
+// and EVERY Stats counter, pivot counts included, must be byte-identical
+// kernels on or off, across worker counts 1/2/4/8 and shard counts
+// 1/2/4/8. The instance itself is built under each setting too, so the
+// all-top-k index scoring and the shard prescreen bands are covered, not
+// just the LP pivots.
+func TestKernelsOffByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cases := []struct {
+		d, nP, nU, k int
+		opts         Options
+	}{
+		{3, 400, 32, 6, Options{}},
+		{2, 300, 40, 5, Options{}},
+		{4, 300, 20, 5, Options{DisableFastTest: true}},
+	}
+	for ci, tc := range cases {
+		onOpts := tc.opts
+		onOpts.Workers = 1
+		offOpts := onOpts
+		offOpts.DisableKernels = true
+
+		instOn := randomInstance(t, rng, tc.nP, tc.nU, tc.d, tc.k)
+		// Rebuild the identical instance with scalar kernels: same
+		// products and users, so the two instances must agree threshold
+		// by threshold before any region work starts.
+		instOff, err := NewInstanceOpts(instOn.Products, instOn.Users, offOpts)
+		if err != nil {
+			t.Fatalf("case %d: scalar instance: %v", ci, err)
+		}
+		if instOn.Prep != instOff.Prep {
+			t.Fatalf("case %d: preprocessing effort diverged: on=%+v off=%+v",
+				ci, instOn.Prep, instOff.Prep)
+		}
+		for i := range instOn.Kth {
+			a, b := instOn.Kth[i], instOff.Kth[i]
+			if a.Index != b.Index || math.Float64bits(a.Score) != math.Float64bits(b.Score) {
+				t.Fatalf("case %d: user %d threshold diverged: %+v vs %+v", ci, i, a, b)
+			}
+		}
+
+		m := tc.nU / 3
+		onRef, err := runAA(instOn, m, onOpts)
+		if err != nil {
+			t.Fatalf("case %d kernels on: %v", ci, err)
+		}
+		offRef, err := runAA(instOff, m, offOpts)
+		if err != nil {
+			t.Fatalf("case %d kernels off: %v", ci, err)
+		}
+		onReg, offReg := onRef.region(), offRef.region()
+
+		ol, sl := onRef.tr.Leaves(nil, nil), offRef.tr.Leaves(nil, nil)
+		if len(ol) != len(sl) {
+			t.Fatalf("case %d: %d leaves on, %d off", ci, len(ol), len(sl))
+		}
+		for i := range ol {
+			a, b := ol[i], sl[i]
+			if a.ID != b.ID || a.Depth != b.Depth || a.Status != b.Status ||
+				a.InCount != b.InCount || a.OutCount != b.OutCount {
+				t.Fatalf("case %d leaf %d diverges on/off: "+
+					"id %d/%d depth %d/%d status %v/%v in %d/%d out %d/%d",
+					ci, i, a.ID, b.ID, a.Depth, b.Depth,
+					a.Status, b.Status, a.InCount, b.InCount, a.OutCount, b.OutCount)
+			}
+		}
+		regionsIdentical(t, onReg, offReg)
+		// FULL stats equality — no counter is exempt, pivots included.
+		if onReg.Stats != offReg.Stats {
+			t.Fatalf("case %d: stats diverge kernels on/off:\non  %+v\noff %+v",
+				ci, onReg.Stats, offReg.Stats)
+		}
+
+		// Both settings commute with the frontier scheduler and the
+		// space-sharded build: every worker count and every shard count
+		// reproduces its own kernels-on twin exactly (scheduling-sensitive
+		// counters excluded at Workers > 1; shard decompositions compared
+		// within a fixed shard count, as the sharding contract requires).
+		for _, workers := range []int{2, 4, 8} {
+			po := onOpts
+			po.Workers = workers
+			want, err := AA(instOn, m, po)
+			if err != nil {
+				t.Fatalf("case %d workers=%d on: %v", ci, workers, err)
+			}
+			po.DisableKernels = true
+			got, err := AA(instOff, m, po)
+			if err != nil {
+				t.Fatalf("case %d workers=%d off: %v", ci, workers, err)
+			}
+			regionsIdentical(t, want, got)
+			sa, sb := want.Stats, got.Stats
+			sa.StealCount, sb.StealCount = 0, 0
+			sa.MaxFrontier, sb.MaxFrontier = 0, 0
+			if sa != sb {
+				t.Fatalf("case %d workers=%d: stats diverge kernels on/off:\non  %+v\noff %+v",
+					ci, workers, sa, sb)
+			}
+		}
+		for _, shards := range []int{2, 4, 8} {
+			po := onOpts
+			po.Shards = shards
+			want, err := AA(instOn, m, po)
+			if err != nil {
+				t.Fatalf("case %d shards=%d on: %v", ci, shards, err)
+			}
+			po.DisableKernels = true
+			got, err := AA(instOff, m, po)
+			if err != nil {
+				t.Fatalf("case %d shards=%d off: %v", ci, shards, err)
+			}
+			regionsIdentical(t, want, got)
+			if want.Stats != got.Stats {
+				t.Fatalf("case %d shards=%d: stats diverge kernels on/off:\non  %+v\noff %+v",
+					ci, shards, want.Stats, got.Stats)
+			}
+		}
+	}
+}

@@ -86,6 +86,19 @@ type Options struct {
 	// are byte-identical either way; the switch keeps the cold path
 	// selectable for benchmarking and the differential property tests.
 	DisableWarmStart bool
+	// DisableKernels turns off the blocked numeric kernels
+	// (internal/kern) everywhere they are threaded: the pivot
+	// eliminations inside every LP solve (classification, redundancy,
+	// hull membership), the layered index's batched scoring and bound
+	// maintenance, and the shard prescreen's band construction. The
+	// scalar paths selected instead are the verbatim historical loops,
+	// and the kernels reproduce them bit for bit — so unlike every other
+	// Disable* switch this one changes NOTHING observable: regions,
+	// arrangements, and every Stats counter (pivot counts included) are
+	// byte-identical either way; only wall time moves. It exists for
+	// benchmarking (the bench-check kernel gates) and the differential
+	// property tests.
+	DisableKernels bool
 	// DisableTopKIndex turns off the layered all-top-k product index
 	// (topk.Index): preprocessing falls back to the skyband-pruned full
 	// scan and the dynamic path's UserArrived recomputes thresholds by

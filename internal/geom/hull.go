@@ -172,19 +172,21 @@ func extremeLP(pts []Vector) []int {
 // scratch's reusable workspace: this is AA's inner-group hot path and runs
 // allocation-free in steady state.
 func InConvexHull(q Vector, pts []Vector) bool {
-	return InConvexHullCounted(q, pts, nil)
+	return InConvexHullCounted(q, pts, nil, false)
 }
 
 // InConvexHullCounted is InConvexHull with LP effort accounting: the
 // underlying workspace's pivot and solve counters are accumulated into ctr
-// when it is non-nil. The solve path is identical.
-func InConvexHullCounted(q Vector, pts []Vector, ctr *lp.Counters) bool {
+// when it is non-nil. The solve path is identical, on the historical
+// scalar pivot loops when scalarLP is set (lp's DisableKernels path) —
+// bit-identical either way.
+func InConvexHullCounted(q Vector, pts []Vector, ctr *lp.Counters, scalarLP bool) bool {
 	n := len(pts)
 	if n == 0 {
 		return false
 	}
 	dim := len(q)
-	s := feaserPool.Get().(*feaserScratch)
+	s := getScratch(scalarLP)
 	defer feaserPool.Put(s)
 	if ctr != nil {
 		w0 := s.w.Counters

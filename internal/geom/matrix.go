@@ -1,12 +1,25 @@
 package geom
 
-import "fmt"
+import (
+	"fmt"
 
-// This file holds the flat-matrix scoring kernels behind the layered
-// top-k index (internal/topk): batched inner products of one weight
-// vector against the rows of a row-major d-column matrix. The kernels
+	"mir/internal/kern"
+)
+
+// This file holds the flat-matrix scoring entry points behind the
+// layered top-k index (internal/topk) and the shard prescreen: batched
+// inner products of one weight vector against the rows of a row-major
+// d-column matrix, and componentwise row extrema. The batched forms
 // exist so the index can score whole product layers over contiguous
 // memory instead of chasing per-product heap vectors.
+//
+// The actual loops live in internal/kern. Each operation has two entry
+// points: the default (DotRows, RowMax, RowMin) dispatches once per
+// call to kern's width-specialized blocked kernels, and the *Scalar
+// twin runs kern's verbatim copy of the historical loop — the path
+// DisableKernels selects. The two are bit-identical (see kern's
+// package comment for the exact contract and the NaN-payload caveat),
+// so which one a caller picks changes wall time and nothing else.
 //
 // Bit-identity contract: for every row r, the result equals
 // w.Dot(row_r) exactly — same multiplication pairs, same accumulation
@@ -16,18 +29,36 @@ import "fmt"
 // guarantee rests on.
 
 // DotRows computes out[r] = w · flat[r*d : (r+1)*d] for every r in
-// [0, len(out)). flat must hold at least len(out)*d values and w must
-// have length d. Rows are processed in pairs (two independent
-// accumulator sets keep the FP units busy); each row's accumulation
-// order is exactly that of Vector.Dot, so results are bit-identical to
-// the per-vector kernel.
+// [0, len(out)) via the blocked kernels. flat must hold at least
+// len(out)*d values and w must have length d. out must not alias w
+// (never the case in-repo: outputs are scratch buffers, weights are
+// user vectors).
 func DotRows(flat []float64, d int, w Vector, out []float64) {
+	if dotRowsTrivial(flat, d, w, out) {
+		return
+	}
+	kern.DotRows(flat, d, w, out)
+}
+
+// DotRowsScalar is DotRows on the historical pair-loop kernel: the
+// path DisableKernels selects. Bit-identical to DotRows.
+func DotRowsScalar(flat []float64, d int, w Vector, out []float64) {
+	if dotRowsTrivial(flat, d, w, out) {
+		return
+	}
+	kern.DotRowsScalar(flat, d, w, out)
+}
+
+// dotRowsTrivial validates the DotRows contract and handles the shapes
+// the kernels assume away (no rows, zero-width rows), reporting true
+// when the call is already complete.
+func dotRowsTrivial(flat []float64, d int, w Vector, out []float64) bool {
 	if len(w) != d {
 		panic(fmt.Sprintf("geom: DotRows weight has %d components, want %d", len(w), d))
 	}
 	n := len(out)
 	if n == 0 {
-		return
+		return true
 	}
 	if len(flat) < n*d {
 		panic(fmt.Sprintf("geom: DotRows matrix has %d values, need %d", len(flat), n*d))
@@ -36,87 +67,74 @@ func DotRows(flat []float64, d int, w Vector, out []float64) {
 		for r := range out {
 			out[r] = 0
 		}
-		return
+		return true
 	}
-	r := 0
-	for ; r+2 <= n; r += 2 {
-		a := flat[r*d : r*d+d : r*d+d]
-		b := flat[(r+1)*d : (r+1)*d+d : (r+1)*d+d]
-		var a0, a1, a2, a3 float64
-		var b0, b1, b2, b3 float64
-		i := 0
-		for ; i+4 <= d; i += 4 {
-			a0 += w[i] * a[i]
-			a1 += w[i+1] * a[i+1]
-			a2 += w[i+2] * a[i+2]
-			a3 += w[i+3] * a[i+3]
-			b0 += w[i] * b[i]
-			b1 += w[i+1] * b[i+1]
-			b2 += w[i+2] * b[i+2]
-			b3 += w[i+3] * b[i+3]
-		}
-		for ; i < d; i++ {
-			a0 += w[i] * a[i]
-			b0 += w[i] * b[i]
-		}
-		out[r] = (a0 + a1) + (a2 + a3)
-		out[r+1] = (b0 + b1) + (b2 + b3)
-	}
-	if r < n {
-		out[r] = dot(w, flat[r*d:r*d+d])
-	}
+	return false
 }
 
 // RowMax widens max (length d) to the componentwise maximum of itself
-// and the rows of flat. It is the bound-maintenance helper of the
-// layered index: a layer's per-dimension maxima, dotted with a
-// non-negative weight vector, upper-bound every score in the layer.
-// flat must hold whole rows (a multiple of d values) and max must have
-// length d; like DotRows, RowMax panics on a mismatch rather than
-// silently ignoring a ragged trailing partial row, which would leave
-// the bound unsound for whatever the caller meant the tail to be.
+// and the rows of flat, via the blocked kernels. It is the
+// bound-maintenance helper of the layered index: a layer's
+// per-dimension maxima, dotted with a non-negative weight vector,
+// upper-bound every score in the layer. flat must hold whole rows (a
+// multiple of d values) and max must have length d; like DotRows,
+// RowMax panics on a mismatch rather than silently ignoring a ragged
+// trailing partial row, which would leave the bound unsound for
+// whatever the caller meant the tail to be. max must not alias flat.
 func RowMax(flat []float64, d int, max []float64) {
-	if d == 0 {
+	if rowBoundTrivial("RowMax", flat, d, max) {
 		return
 	}
-	if len(max) != d {
-		panic(fmt.Sprintf("geom: RowMax bound has %d components, want %d", len(max), d))
+	kern.RowMax(flat, d, max)
+}
+
+// RowMaxScalar is RowMax on the historical row-major loop: the path
+// DisableKernels selects. Bit-identical to RowMax.
+func RowMaxScalar(flat []float64, d int, max []float64) {
+	if rowBoundTrivial("RowMax", flat, d, max) {
+		return
 	}
-	if len(flat)%d != 0 {
-		panic(fmt.Sprintf("geom: RowMax matrix has %d values, not a multiple of %d", len(flat), d))
-	}
-	for off := 0; off+d <= len(flat); off += d {
-		row := flat[off : off+d : off+d]
-		for j, x := range row {
-			if x > max[j] {
-				max[j] = x
-			}
-		}
-	}
+	kern.RowMaxScalar(flat, d, max)
 }
 
 // RowMin widens min (length d) to the componentwise minimum of itself
 // and the rows of flat: the lower-band counterpart of RowMax. The pair
 // brackets every row of a block between two vectors, which is what the
 // halfspace prescreen of the space-sharded arrangement dots against box
-// corners to decide whole blocks at once. Same contract as RowMax: flat
-// must hold whole rows and min must have length d, or RowMin panics.
+// corners to decide whole blocks at once. Same contract as RowMax.
 func RowMin(flat []float64, d int, min []float64) {
-	if d == 0 {
+	if rowBoundTrivial("RowMin", flat, d, min) {
 		return
 	}
-	if len(min) != d {
-		panic(fmt.Sprintf("geom: RowMin bound has %d components, want %d", len(min), d))
+	kern.RowMin(flat, d, min)
+}
+
+// RowMinScalar is RowMin on the historical row-major loop: the path
+// DisableKernels selects. Bit-identical to RowMin.
+func RowMinScalar(flat []float64, d int, min []float64) {
+	if rowBoundTrivial("RowMin", flat, d, min) {
+		return
+	}
+	kern.RowMinScalar(flat, d, min)
+}
+
+// rowBoundTrivial validates the RowMax/RowMin contract — the bound
+// length check runs BEFORE the d == 0 early return, so a caller
+// passing a stale non-empty bound for a zero-dimensional matrix panics
+// instead of silently getting no widening — and reports true when
+// there is nothing to widen.
+func rowBoundTrivial(name string, flat []float64, d int, bound []float64) bool {
+	if len(bound) != d {
+		panic(fmt.Sprintf("geom: %s bound has %d components, want %d", name, len(bound), d))
+	}
+	if d == 0 {
+		if len(flat) != 0 {
+			panic(fmt.Sprintf("geom: %s matrix has %d values with zero-width rows", name, len(flat)))
+		}
+		return true
 	}
 	if len(flat)%d != 0 {
-		panic(fmt.Sprintf("geom: RowMin matrix has %d values, not a multiple of %d", len(flat), d))
+		panic(fmt.Sprintf("geom: %s matrix has %d values, not a multiple of %d", name, len(flat), d))
 	}
-	for off := 0; off+d <= len(flat); off += d {
-		row := flat[off : off+d : off+d]
-		for j, x := range row {
-			if x < min[j] {
-				min[j] = x
-			}
-		}
-	}
+	return len(flat) == 0
 }

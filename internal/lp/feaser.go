@@ -44,6 +44,12 @@ type Feaser struct {
 	// callers take deltas around call sites they want to attribute.
 	Counters Counters
 
+	// DisableKernels routes every pivot elimination through the
+	// historical scalar loops instead of internal/kern's blocked row
+	// kernels; bit-identical either way (see elim.go), so it changes
+	// wall time and nothing else.
+	DisableKernels bool
+
 	n, m, width int
 	keys        []Key  // caller's row keys for the last solve (aliased; may be nil)
 	live        bool   // tab/z/basis hold a materialized, consistent state
@@ -341,32 +347,8 @@ func growFloats(buf *[]float64, want int) []float64 {
 }
 
 func (f *Feaser) pivot(n, width, row, col int) {
+	eliminate(f.tab, width, n, row, col, f.DisableKernels)
 	pr := f.tab[row*width : (row+1)*width]
-	inv := 1 / pr[col]
-	for j := 0; j < width; j++ {
-		pr[j] *= inv
-	}
-	pr[col] = 1
-	for i := 0; i < n; i++ {
-		if i == row {
-			continue
-		}
-		ri := f.tab[i*width : (i+1)*width]
-		fac := ri[col]
-		if fac == 0 {
-			continue
-		}
-		for j := 0; j < width; j++ {
-			ri[j] -= fac * pr[j]
-		}
-		ri[col] = 0
-	}
-	fac := f.z[col]
-	if fac != 0 {
-		for j := 0; j < width; j++ {
-			f.z[j] -= fac * pr[j]
-		}
-		f.z[col] = 0
-	}
+	eliminateAux(f.z, pr, col, f.DisableKernels)
 	f.basis[row] = col
 }

@@ -130,6 +130,14 @@ type Workspace struct {
 	// callers take deltas around call sites they want to attribute.
 	Counters Counters
 
+	// DisableKernels routes every pivot elimination through the
+	// historical scalar loops instead of internal/kern's blocked row
+	// kernels. The two are bit-identical (see elim.go), so the switch
+	// changes wall time and nothing else — no result, no counter, no
+	// pivot sequence; it exists for benchmarking and the differential
+	// property tests.
+	DisableKernels bool
+
 	// canPrimal: the basis is primal-feasible for the loaded program, so
 	// ResolveObjective may re-enter it with a new objective. canDual: the
 	// reduced-cost row is dual-feasible for the loaded objective, so
@@ -399,14 +407,7 @@ func (w *Workspace) ReSolveRHS(b []float64) (Result, bool) {
 			w.degIter = 0
 		}
 		w.pivot(row, col)
-		coef := w.z[col]
-		if coef != 0 {
-			pr := w.tab[row*w.nCols : (row+1)*w.nCols]
-			for j, v := range pr {
-				w.z[j] -= coef * v
-			}
-			w.z[col] = 0
-		}
+		eliminateAux(w.z, w.tab[row*w.nCols:(row+1)*w.nCols], col, w.DisableKernels)
 	}
 	w.canPrimal = false
 	w.canDual = false
@@ -619,14 +620,7 @@ func (w *Workspace) iterate(z []float64, limit int) bool {
 		}
 		w.pivot(row, col)
 		// Update the reduced-cost row with the same elimination.
-		coef := z[col]
-		if coef != 0 {
-			pr := w.tab[row*w.nCols : (row+1)*w.nCols]
-			for j, v := range pr {
-				z[j] -= coef * v
-			}
-			z[col] = 0
-		}
+		eliminateAux(z, w.tab[row*w.nCols:(row+1)*w.nCols], col, w.DisableKernels)
 	}
 	// Hitting the iteration cap on these tiny programs indicates numerical
 	// trouble; report the safest answer for each phase. Phase 1 treats it as
@@ -675,29 +669,10 @@ func (w *Workspace) ratioTest(col int) int {
 	return bestRow
 }
 
-// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the
+// basis, via the shared elimination kernel (see elim.go).
 func (w *Workspace) pivot(row, col int) {
 	w.Counters.Pivots++
-	pr := w.tab[row*w.nCols : (row+1)*w.nCols]
-	p := pr[col]
-	inv := 1 / p
-	for j := range pr {
-		pr[j] *= inv
-	}
-	pr[col] = 1
-	for i := 0; i < w.m; i++ {
-		if i == row {
-			continue
-		}
-		ri := w.tab[i*w.nCols : (i+1)*w.nCols]
-		f := ri[col]
-		if f == 0 {
-			continue
-		}
-		for j, v := range pr {
-			ri[j] -= f * v
-		}
-		ri[col] = 0
-	}
+	eliminate(w.tab, w.nCols, w.m, row, col, w.DisableKernels)
 	w.basis[row] = col
 }

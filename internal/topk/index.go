@@ -96,6 +96,13 @@ type indexLayer struct {
 	// superMax[sb] bounds rows [sb*superRows, (sb+1)*superRows).
 	blockMax [][]float64
 	superMax [][]float64
+	// blockFlat and superFlat are contiguous row-major views of the same
+	// maxima (the backing slab recomputeBounds fills): blockFlat row b ==
+	// blockMax[b], superFlat row sb == superMax[sb]. They exist so a
+	// query can score a whole layer's bounds with one batched DotRows
+	// call — dispatch once per matrix, not once per granule.
+	blockFlat []float64
+	superFlat []float64
 }
 
 func (ly *indexLayer) rows() int { return len(ly.ids) }
@@ -107,6 +114,14 @@ func (ly *indexLayer) rows() int { return len(ly.ids) }
 type Index struct {
 	dim    int
 	nAlive int
+
+	// scalar routes every batched scoring and bound-maintenance call
+	// through the historical scalar loops (geom's *Scalar twins) instead
+	// of the blocked kernels. The two are bit-identical, so the flag —
+	// core.Options.DisableKernels threaded per instance — changes wall
+	// time and nothing else: scores, selections, and every SearchStats
+	// counter are byte-identical either way.
+	scalar bool
 
 	// rowData is the append-only master matrix of every product ever
 	// added (dead rows included); row id i lives at rows [i*dim, (i+1)*dim).
@@ -156,6 +171,23 @@ func NewIndexLayers(products []geom.Vector, maxLayers int) *Index {
 	ix.nAlive = len(products)
 	ix.build()
 	return ix
+}
+
+// SetKernels selects the scoring path: on (the default) uses the
+// blocked kernels, off the historical scalar loops. Bit-identical
+// either way — bounds built before the switch flips remain exact — so
+// the call may happen any time, though the engine sets it once at
+// construction.
+func (ix *Index) SetKernels(on bool) { ix.scalar = !on }
+
+// dotRows scores rows of flat against w on the instance's selected
+// kernel path.
+func (ix *Index) dotRows(flat []float64, d int, w geom.Vector, out []float64) {
+	if ix.scalar {
+		geom.DotRowsScalar(flat, d, w, out)
+	} else {
+		geom.DotRows(flat, d, w, out)
+	}
 }
 
 // Dim returns the attribute dimensionality.
@@ -280,7 +312,7 @@ func (ix *Index) pushLayer(ids []int) {
 	for i, id := range ly.ids {
 		copy(ly.flat[i*d:(i+1)*d], ix.row(id))
 	}
-	ly.recomputeBounds(d)
+	ly.recomputeBounds(d, ix.scalar)
 	ix.layers = append(ix.layers, ly)
 }
 
@@ -335,16 +367,25 @@ func (ix *Index) kdOrder(ids []int) {
 
 // recomputeBounds rebuilds the layer's per-block and per-superblock
 // maxima from its rows.
-func (ly *indexLayer) recomputeBounds(d int) {
+func (ly *indexLayer) recomputeBounds(d int, scalar bool) {
+	rowMax := geom.RowMax
+	if scalar {
+		rowMax = geom.RowMaxScalar
+	}
 	n := ly.rows()
 	if n == 0 {
 		ly.blockMax, ly.superMax = nil, nil
+		ly.blockFlat, ly.superFlat = nil, nil
 		return
 	}
 	nb := (n + blockRows - 1) / blockRows
 	ns := (n + superRows - 1) / superRows
-	// One backing slab keeps the per-layer allocation count flat.
+	// One backing slab keeps the per-layer allocation count flat — and
+	// doubles as the contiguous bound matrices the batched queries score
+	// (blockFlat, then superFlat).
 	slab := make([]float64, (nb+ns)*d)
+	ly.blockFlat = slab[:nb*d:nb*d]
+	ly.superFlat = slab[nb*d:]
 	ly.blockMax = ly.blockMax[:0]
 	for b := 0; b < nb; b++ {
 		lo, hi := b*blockRows, (b+1)*blockRows
@@ -353,7 +394,7 @@ func (ly *indexLayer) recomputeBounds(d int) {
 		}
 		bm := slab[b*d : (b+1)*d : (b+1)*d]
 		copy(bm, ly.flat[lo*d:lo*d+d])
-		geom.RowMax(ly.flat[(lo+1)*d:hi*d], d, bm)
+		rowMax(ly.flat[(lo+1)*d:hi*d], d, bm)
 		ly.blockMax = append(ly.blockMax, bm)
 	}
 	ly.superMax = ly.superMax[:0]
@@ -364,7 +405,7 @@ func (ly *indexLayer) recomputeBounds(d int) {
 		}
 		sm := slab[(nb+sb)*d : (nb+sb+1)*d : (nb+sb+1)*d]
 		copy(sm, ly.flat[lo*d:lo*d+d])
-		geom.RowMax(ly.flat[(lo+1)*d:hi*d], d, sm)
+		rowMax(ly.flat[(lo+1)*d:hi*d], d, sm)
 		ly.superMax = append(ly.superMax, sm)
 	}
 }
@@ -475,7 +516,7 @@ func (ix *Index) Remove(id int) {
 // incrementally anyway (a removed row may have defined the max), and the
 // simple full recompute keeps the patch logic obviously correct.
 func (ix *Index) repairLayer(l int) {
-	ix.layers[l].recomputeBounds(ix.dim)
+	ix.layers[l].recomputeBounds(ix.dim, ix.scalar)
 }
 
 // maybeRebuild applies the re-peel policy; reports whether it rebuilt.
@@ -553,6 +594,19 @@ type Searcher struct {
 	hID    []int
 	queue  []granuleRef
 	scores [blockRows]float64
+	// bound-scoring scratch for the batched granule dots: one slot per
+	// superblock of the largest layer (grown on demand), and a fixed
+	// block-bound buffer for one superblock's expansion.
+	sBounds []float64
+	bBounds [superRows / blockRows]float64
+}
+
+// growBounds returns the superblock-bound scratch resized to n.
+func (s *Searcher) growBounds(n int) []float64 {
+	if cap(s.sBounds) < n {
+		s.sBounds = make([]float64, n)
+	}
+	return s.sBounds[:n]
 }
 
 // NewSearcher returns a Searcher over ix.
@@ -620,9 +674,17 @@ func (s *Searcher) Kth(w geom.Vector, k int) KthResult {
 	// pruned superblock soundly prunes every block under it.
 	s.queue = s.queue[:0]
 	for l, ly := range ix.layers {
-		for sb, sm := range ly.superMax {
+		ns := len(ly.superMax)
+		if ns == 0 {
+			continue
+		}
+		// One batched dot over the layer's contiguous superblock maxima:
+		// bit-identical to w.Dot per row, dispatched once per matrix.
+		bounds := s.growBounds(ns)
+		ix.dotRows(ly.superFlat, ix.dim, w, bounds)
+		for sb, bd := range bounds {
 			s.queue = append(s.queue, granuleRef{
-				bound: w.Dot(geom.Vector(sm)),
+				bound: bd,
 				layer: int32(l),
 				idx:   int32(sb),
 				super: true,
@@ -652,11 +714,13 @@ func (s *Searcher) Kth(w geom.Vector, k int) KthResult {
 		if nb := len(ly.blockMax); hi > nb {
 			hi = nb
 		}
-		for b := lo; b < hi; b++ {
+		bb := s.bBounds[:hi-lo]
+		ix.dotRows(ly.blockFlat[lo*ix.dim:hi*ix.dim], ix.dim, w, bb)
+		for i, bd := range bb {
 			s.queuePush(granuleRef{
-				bound: w.Dot(geom.Vector(ly.blockMax[b])),
+				bound: bd,
 				layer: best.layer,
-				idx:   int32(b),
+				idx:   int32(lo + i),
 			})
 		}
 	}
@@ -708,7 +772,7 @@ func (s *Searcher) scanBlock(ly *indexLayer, b int, w geom.Vector, k int, full b
 	}
 	rows := hi - lo
 	out := s.scores[:rows]
-	geom.DotRows(ly.flat[lo*d:hi*d], d, w, out)
+	s.ix.dotRows(ly.flat[lo*d:hi*d], d, w, out)
 	s.Stats.ScannedProducts += int64(rows)
 	for i, sc := range out {
 		id := ly.ids[lo+i]
@@ -749,18 +813,33 @@ func (s *Searcher) AtLeast(w geom.Vector, t float64, dst []int) []int {
 	d := ix.dim
 	for _, ly := range ix.layers {
 		nb := len(ly.blockMax)
-		for sb, sm := range ly.superMax {
+		ns := len(ly.superMax)
+		var sBounds []float64
+		if canPrune && ns > 0 {
+			// Batched superblock bounds for the whole layer, then batched
+			// block bounds per surviving superblock: the same bound values
+			// (and hence the same prune/scan decisions and counters) as the
+			// per-granule dots, one matrix dispatch per batch.
+			sBounds = s.growBounds(ns)
+			ix.dotRows(ly.superFlat, d, w, sBounds)
+		}
+		for sb := 0; sb < ns; sb++ {
 			lo := sb * (superRows / blockRows)
 			hi := lo + superRows/blockRows
 			if hi > nb {
 				hi = nb
 			}
-			if canPrune && w.Dot(geom.Vector(sm)) < t {
+			if canPrune && sBounds[sb] < t {
 				s.Stats.LayerPrunes += int64(hi - lo)
 				continue
 			}
+			var bBounds []float64
+			if canPrune {
+				bBounds = s.bBounds[:hi-lo]
+				ix.dotRows(ly.blockFlat[lo*d:hi*d], d, w, bBounds)
+			}
 			for b := lo; b < hi; b++ {
-				if canPrune && w.Dot(geom.Vector(ly.blockMax[b])) < t {
+				if canPrune && bBounds[b-lo] < t {
 					s.Stats.LayerPrunes++
 					continue
 				}
@@ -769,7 +848,7 @@ func (s *Searcher) AtLeast(w geom.Vector, t float64, dst []int) []int {
 					rhi = n
 				}
 				out := s.scores[:rhi-rlo]
-				geom.DotRows(ly.flat[rlo*d:rhi*d], d, w, out)
+				s.ix.dotRows(ly.flat[rlo*d:rhi*d], d, w, out)
 				s.Stats.ScannedProducts += int64(rhi - rlo)
 				for i, sc := range out {
 					if sc >= t {

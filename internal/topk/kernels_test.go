@@ -1,0 +1,111 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mir/internal/geom"
+)
+
+// TestIndexKernelsOnOffIdentical pins the package's half of the
+// DisableKernels contract: an index scored through the blocked kernels
+// and one scored through the historical scalar loops return
+// byte-identical answers AND byte-identical effort counters — the same
+// granule bounds mean the same prune/scan decisions, so
+// ScannedProducts and LayerPrunes cannot move either.
+func TestIndexKernelsOnOffIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(500)
+		d := 1 + rng.Intn(6)
+		ps := randomProducts(rng, n, d)
+		maxLayers := 1 + rng.Intn(5)
+
+		fast := NewIndexLayers(ps, maxLayers)
+		slow := NewIndexLayers(ps, maxLayers)
+		slow.SetKernels(false)
+
+		sf := NewSearcher(fast)
+		ss := NewSearcher(slow)
+		for q := 0; q < 15; q++ {
+			w := randomWeight(rng, d)
+			k := 1 + rng.Intn(n)
+			sameKth(t, "kernels on/off", sf.Kth(w, k), ss.Kth(w, k))
+
+			t0 := 0.2 + 0.6*rng.Float64()
+			got := append([]int(nil), sf.AtLeast(w, t0, nil)...)
+			want := append([]int(nil), ss.AtLeast(w, t0, nil)...)
+			if len(got) != len(want) {
+				t.Fatalf("AtLeast kernels on/off: %d vs %d ids", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("AtLeast kernels on/off: id[%d] %d vs %d", i, got[i], want[i])
+				}
+			}
+		}
+		if sf.Stats != ss.Stats {
+			t.Fatalf("SearchStats diverged across kernel settings: on=%+v off=%+v",
+				sf.Stats, ss.Stats)
+		}
+	}
+}
+
+// TestHalfspaceBandsKernelsOnOffIdentical pins the prescreen's half:
+// band extrema built through the blocked kernels equal the scalar
+// build bit for bit, and every Prescreen call returns the same
+// relations and the same PrescreenStats.
+func TestHalfspaceBandsKernelsOnOffIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(908))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		d := 1 + rng.Intn(5)
+		flat := make([]float64, n*d)
+		ts := make([]float64, n)
+		for i := range flat {
+			flat[i] = rng.NormFloat64()
+			if rng.Intn(8) == 0 {
+				flat[i] = 0 // exercise the nonneg fast path's boundary
+			}
+		}
+		for i := range ts {
+			ts[i] = rng.NormFloat64()
+		}
+
+		fast := NewHalfspaceBandsKernels(flat, d, ts, true)
+		slow := NewHalfspaceBandsKernels(flat, d, ts, false)
+		for i := range fast.wMin {
+			if math.Float64bits(fast.wMin[i]) != math.Float64bits(slow.wMin[i]) ||
+				math.Float64bits(fast.wMax[i]) != math.Float64bits(slow.wMax[i]) {
+				t.Fatalf("band extrema diverged at %d: [%x,%x] vs [%x,%x]", i,
+					math.Float64bits(fast.wMin[i]), math.Float64bits(fast.wMax[i]),
+					math.Float64bits(slow.wMin[i]), math.Float64bits(slow.wMax[i]))
+			}
+		}
+
+		outF := make([]geom.Relation, n)
+		outS := make([]geom.Relation, n)
+		for q := 0; q < 10; q++ {
+			lo := make(geom.Vector, d)
+			hi := make(geom.Vector, d)
+			for j := 0; j < d; j++ {
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			stF := fast.Prescreen(lo, hi, outF)
+			stS := slow.Prescreen(lo, hi, outS)
+			if stF != stS {
+				t.Fatalf("PrescreenStats diverged: on=%+v off=%+v", stF, stS)
+			}
+			for i := range outF {
+				if outF[i] != outS[i] {
+					t.Fatalf("relation %d diverged: %v vs %v", i, outF[i], outS[i])
+				}
+			}
+		}
+	}
+}

@@ -109,6 +109,18 @@ type Options struct {
 	// begins, never what it answers — regions and all stats except the pivot
 	// counters are identical either way; the switch exists for benchmarking.
 	DisableWarmStart bool
+	// DisableKernels turns off the blocked numeric kernels
+	// (internal/kern) everywhere the engine threads them: the pivot
+	// eliminations inside every LP solve, the layered index's batched
+	// scoring and bound maintenance, and the shard prescreen's band
+	// construction. The scalar paths selected instead are the verbatim
+	// historical loops, and the kernels reproduce them bit for bit —
+	// so unlike every other Disable* switch this one changes NOTHING
+	// observable: regions, placements, and every stats counter (pivot
+	// counts included) are byte-identical either way; only wall time
+	// moves. The switch exists for benchmarking and the differential
+	// property tests.
+	DisableKernels bool
 	// DisableTopKIndex turns off the layered all-top-k product index: the
 	// preprocessing falls back to the skyband-pruned full scan and a
 	// Monitor's UserArrived recomputes thresholds by scanning every
@@ -154,6 +166,7 @@ func (o *Options) toCore() core.Options {
 		DisableGrouping:   o.DisableGrouping,
 		DisablePruning:    o.DisableRedundancyPruning,
 		DisableWarmStart:  o.DisableWarmStart,
+		DisableKernels:    o.DisableKernels,
 		DisableTopKIndex:  o.DisableTopKIndex,
 		DisableRouting:    o.DisableRouting,
 	}

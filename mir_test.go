@@ -243,6 +243,8 @@ func TestOptionsPlumbed(t *testing.T) {
 		{Strategy: RoundRobin},
 		{DisableFastTests: true, DisableInnerGroupProcessing: true},
 		{Disable2DSpecialization: true, DisableGrouping: true},
+		{DisableKernels: true},
+		{DisableKernels: true, Shards: 4},
 	} {
 		a, err := NewAnalyzer(ps, us, opts)
 		if err != nil {
