@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"mir/internal/core"
+	"mir/internal/dist"
+)
+
+// The executor axis of the AA matrix: the shard-tier configuration run
+// through the multi-process worker pool (internal/dist.ProcPool), as a
+// twin of the in-process row with the same shape. Three gates run
+// fresh-vs-fresh on every invocation that produces executor rows:
+//
+//   - identity: the pool row's algorithmic Stats must equal its
+//     in-process twin's exactly (transport counters excluded), and the
+//     merged regions are compared cell for cell, coordinate for
+//     coordinate, before the row is even recorded — the cross-process
+//     byte-identity contract, enforced on real bench workloads, not
+//     just unit-test instances. The row must also prove the
+//     multi-process path actually ran: every shard dispatched to a
+//     worker, none fallen back in-process.
+//   - wall: the pool build must stay within distWallFactorMax of the
+//     in-process twin. Multi-process execution pays real overhead
+//     (fork+exec, a per-worker instance rebuild, frame codecs) that
+//     in-process sharing gets for free, so on small instances the pool
+//     LOSES — the gate bounds the loss rather than pretending there is
+//     a win to measure. Fresh-vs-fresh, so machine speed divides out.
+//   - RSS: no worker process may exceed distWorkerRSSCeilingBytes peak
+//     resident set. This is the GC-isolation argument made checkable:
+//     each worker's heap holds one shard's arrangement plus one
+//     instance, bounded regardless of how many shards the whole build
+//     has, where the single-process build accumulates every shard in
+//     one heap. (Skipped, with a notice, where the platform reports no
+//     rusage.)
+const (
+	distShards      = 4
+	distPoolWorkers = 2
+	// distWallFactorMax tolerates the pool's fixed overhead on the small
+	// bench tier: two worker spawns, two instance rebuilds (the rebuild
+	// repeats the parent's preprocessing), and the frame round-trips.
+	// On production-sized instances the per-shard work dominates and the
+	// real factor approaches 1; the bench tier is deliberately small, so
+	// the bound is generous without being vacuous.
+	distWallFactorMax = 3.0
+	// distWorkerRSSCeilingBytes bounds one worker process's peak RSS:
+	// instance (|P|=5000, |U|=160, d=3) + one shard's arrangement + Go
+	// runtime, measured well under 200 MiB; 512 MiB is the alarm line
+	// for a worker suddenly holding more than its shard.
+	distWorkerRSSCeilingBytes = 512 << 20
+)
+
+// runDistBench is the -json-dist mode (`make bench-dist`): just the
+// shard tier's executor axis — in-process and procpool twins at Shards ∈
+// {2, distShards} — written to path and gated by checkDistExecutor.
+// The full -json matrix also grows a procpool row; this mode is the
+// cheap, focused regeneration CI runs in bench-check.
+func runDistBench(cfg config, path string) error {
+	report := benchReport{
+		Command:  "mirbench -json-dist",
+		hostMeta: currentHost(),
+		Seed:     cfg.seed,
+	}
+	inst := cfg.instance("IND", "CL", jsonBenchP, jsonShardU, jsonBenchD, jsonBenchK, 101)
+	shardsList := []int{2, distShards}
+	twins := make(map[int]*core.Region, len(shardsList))
+	for _, shards := range shardsList {
+		opts := core.Options{Workers: jsonShardWorkers, Shards: shards}
+		res := benchResult{
+			Dataset:   "IND",
+			Products:  jsonBenchP,
+			Users:     jsonShardU,
+			Dim:       jsonBenchD,
+			K:         jsonBenchK,
+			M:         jsonShardM,
+			Pruning:   true,
+			WarmStart: true,
+			Workers:   jsonShardWorkers,
+			Shards:    shards,
+			Runs:      jsonBenchRuns,
+		}
+		reg, err := measureAA(inst, jsonShardM, opts, &res)
+		if err != nil {
+			return fmt.Errorf("dist tier inproc shards=%d: %w", shards, err)
+		}
+		twins[shards] = reg
+		report.Results = append(report.Results, res)
+		fmt.Printf("IND   |U|=%d shards=%d workers=%d inproc    %8.3fs  cells=%d\n",
+			jsonShardU, shards, jsonShardWorkers, res.WallSeconds, res.Stats.Cells)
+	}
+	if err := measureDistRows(&report, inst, shardsList, twins); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return checkDistExecutor(report)
+}
+
+// measureDistRows appends one procpool row per shard count, running the
+// cell-for-cell differential against the in-process twin region before
+// anything is recorded: a divergence is a correctness failure, not a
+// number in a report.
+func measureDistRows(report *benchReport, inst *core.Instance, shardsList []int, twins map[int]*core.Region) error {
+	for _, shards := range shardsList {
+		opts := core.Options{Workers: jsonShardWorkers, Shards: shards}
+		pool := &dist.ProcPool{Workers: distPoolWorkers}
+		res := benchResult{
+			Dataset:   "IND",
+			Products:  jsonBenchP,
+			Users:     jsonShardU,
+			Dim:       jsonBenchD,
+			K:         jsonBenchK,
+			M:         jsonShardM,
+			Pruning:   true,
+			WarmStart: true,
+			Workers:   jsonShardWorkers,
+			Shards:    shards,
+			Executor:  pool.Name(),
+			Runs:      jsonBenchRuns,
+		}
+		reg, err := measureBuild(func() (*core.Region, error) {
+			return pool.BuildRegion(inst, jsonShardM, opts)
+		}, &res)
+		if err != nil {
+			return fmt.Errorf("dist tier procpool shards=%d: %w", shards, err)
+		}
+		res.WorkerMaxRSSBytes = pool.Info().MaxWorkerRSSBytes
+		if twin := twins[shards]; twin != nil {
+			if err := regionsEqualExact(twin, reg); err != nil {
+				return fmt.Errorf("executor differential shards=%d: in-process and procpool regions diverge: %w", shards, err)
+			}
+			fmt.Printf("executor differential shards=%d: %d cells byte-identical across executors\n",
+				shards, len(reg.Cells))
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("IND   |U|=%d shards=%d workers=%d procpool  %8.3fs  shipped=%dB  respawns=%d  workerRSS=%dMB\n",
+			jsonShardU, shards, jsonShardWorkers, res.WallSeconds, res.Stats.ShippedBytes,
+			res.Stats.RespawnedWorkers, res.WorkerMaxRSSBytes>>20)
+	}
+	return nil
+}
+
+// regionsEqualExact compares two regions cell for cell with bitwise
+// float equality — the differential half of the executor gate.
+func regionsEqualExact(want, got *core.Region) error {
+	if want.Dim != got.Dim || want.M != got.M {
+		return fmt.Errorf("shape: dim %d/%d m %d/%d", want.Dim, got.Dim, want.M, got.M)
+	}
+	if len(want.Cells) != len(got.Cells) {
+		return fmt.Errorf("%d cells vs %d", len(got.Cells), len(want.Cells))
+	}
+	for i := range want.Cells {
+		wc, gc := want.Cells[i], got.Cells[i]
+		if len(wc.Hs) != len(gc.Hs) {
+			return fmt.Errorf("cell %d: %d halfspaces vs %d", i, len(gc.Hs), len(wc.Hs))
+		}
+		for j := range wc.Hs {
+			if math.Float64bits(wc.Hs[j].T) != math.Float64bits(gc.Hs[j].T) {
+				return fmt.Errorf("cell %d halfspace %d: thresholds differ", i, j)
+			}
+			for d := range wc.Hs[j].W {
+				if math.Float64bits(wc.Hs[j].W[d]) != math.Float64bits(gc.Hs[j].W[d]) {
+					return fmt.Errorf("cell %d halfspace %d coord %d: coefficients differ", i, j, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scrubTransportStats zeroes the counters outside the executor identity
+// contract before row comparison: the transport counters only the pool
+// sets, and the scheduling-sensitive pair (already zeroed by
+// measureBuild, zeroed again here so the gate does not depend on that).
+func scrubTransportStats(s core.Stats) core.Stats {
+	s.StealCount = 0
+	s.MaxFrontier = 0
+	s.DispatchedShards = 0
+	s.RespawnedWorkers = 0
+	s.FallbackInProcess = 0
+	s.ShippedBytes = 0
+	return s
+}
+
+// checkDistExecutor gates every executor row of a fresh report against
+// its in-process twin (same dataset, users, workers, shards; Executor
+// empty). Reports without executor rows (legacy, -json-topk, …) pass
+// with a notice.
+func checkDistExecutor(report benchReport) error {
+	type key struct {
+		dataset string
+		users   int
+		workers int
+		shards  int
+	}
+	inproc := make(map[key]benchResult)
+	for _, r := range report.Results {
+		if r.Executor == "" {
+			inproc[key{r.Dataset, r.Users, r.Workers, r.Shards}] = r
+		}
+	}
+	var failures []string
+	checked := 0
+	for _, r := range report.Results {
+		if r.Executor == "" {
+			continue
+		}
+		checked++
+		tag := fmt.Sprintf("%s |U|=%d shards=%d executor=%s", r.Dataset, r.Users, r.Shards, r.Executor)
+		twin, ok := inproc[key{r.Dataset, r.Users, r.Workers, r.Shards}]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no in-process twin row in report", tag))
+			continue
+		}
+		if got, want := scrubTransportStats(r.Stats), scrubTransportStats(twin.Stats); got != want {
+			failures = append(failures, fmt.Sprintf(
+				"%s: algorithmic stats diverge from in-process twin:\n    inproc   %+v\n    %s %+v",
+				tag, want, r.Executor, got))
+		}
+		if r.Stats.DispatchedShards != r.Shards || r.Stats.FallbackInProcess != 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: multi-process path did not run all shards (dispatched %d of %d, fallback %d)",
+				tag, r.Stats.DispatchedShards, r.Shards, r.Stats.FallbackInProcess))
+		}
+		if r.Stats.ShippedBytes <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: no bytes shipped recorded", tag))
+		}
+		factor := r.WallSeconds / twin.WallSeconds
+		fmt.Printf("dist wall shards=%d: procpool %.3fs vs inproc %.3fs = %.2fx (limit %.1fx)\n",
+			r.Shards, r.WallSeconds, twin.WallSeconds, factor, distWallFactorMax)
+		if factor > distWallFactorMax {
+			failures = append(failures, fmt.Sprintf(
+				"%s: wall %.3fs is %.2fx the in-process twin's %.3fs (limit %.1fx)",
+				tag, r.WallSeconds, factor, twin.WallSeconds, distWallFactorMax))
+		}
+		if r.WorkerMaxRSSBytes > 0 {
+			fmt.Printf("dist rss shards=%d: worker peak %d MiB (ceiling %d MiB)\n",
+				r.Shards, r.WorkerMaxRSSBytes>>20, int64(distWorkerRSSCeilingBytes)>>20)
+			if r.WorkerMaxRSSBytes > distWorkerRSSCeilingBytes {
+				failures = append(failures, fmt.Sprintf(
+					"%s: worker peak RSS %d bytes exceeds ceiling %d",
+					tag, r.WorkerMaxRSSBytes, int64(distWorkerRSSCeilingBytes)))
+			}
+		} else {
+			fmt.Printf("dist rss shards=%d: no rusage on this platform; ceiling not enforced\n", r.Shards)
+		}
+	}
+	if checked == 0 {
+		fmt.Println("dist executor: no executor rows in report; skipping")
+		return nil
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("dist executor gates failed:\n  %s", joinLines(failures))
+	}
+	fmt.Println("dist executor check passed")
+	return nil
+}

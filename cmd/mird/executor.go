@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mir"
+	"mir/internal/core"
+	"mir/internal/dist"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// execStatus is the daemon's record of its startup executor probe,
+// served under /stats. The Monitor's incremental maintenance always
+// runs in-process and single-tree (see mir.Options.Shards), so executor
+// selection governs the full-region build path: with -executor procpool
+// the daemon builds its starting region once more through the
+// multi-process worker pool and refuses to serve unless that build is
+// byte-identical to the in-process one — a deployment-time verification
+// that the worker binary, protocol, and environment produce the same
+// regions this process does.
+type execStatus struct {
+	Name   string // "inproc" or "procpool"
+	Shards int    // probe shard count (0 when no probe ran)
+	Info   dist.ExecInfo
+	// ProbeSeconds is the wall time of the pool build alone; ProbeCells
+	// its cell count (equal to the in-process twin's by construction).
+	ProbeSeconds float64
+	ProbeCells   int
+}
+
+// runExecProbe verifies the selected executor at startup. For "inproc"
+// there is nothing to verify — the Monitor's own build already ran in
+// this process — and the returned status only names the executor. For
+// "procpool" it builds the region twice at the given shard count, once
+// in-process and once through dist.ProcPool, and compares the results
+// cell for cell with bitwise float equality.
+func runExecProbe(executor string, shards, workers int, products [][]float64, users []mir.User, m int) (*execStatus, error) {
+	switch executor {
+	case "", "inproc":
+		return &execStatus{Name: "inproc"}, nil
+	case "procpool":
+	default:
+		return nil, fmt.Errorf("unknown -executor %q (want inproc or procpool)", executor)
+	}
+	if shards < 2 {
+		return nil, fmt.Errorf("-executor procpool needs -shards >= 2 (got %d): the pool dispatches shard builds, and a single shard has nothing to dispatch", shards)
+	}
+	ps := make([]geom.Vector, len(products))
+	for i, p := range products {
+		ps[i] = geom.Vector(p)
+	}
+	us := make([]topk.UserPref, len(users))
+	for i, u := range users {
+		us[i] = topk.UserPref{W: geom.Vector(u.Weights), K: u.K}
+	}
+	opts := core.Options{Workers: workers, Shards: shards}
+	inst, err := core.NewInstanceOpts(ps, us, opts)
+	if err != nil {
+		return nil, fmt.Errorf("executor probe: %w", err)
+	}
+	twin, err := core.AA(inst, m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("executor probe (in-process build): %w", err)
+	}
+	pool := &dist.ProcPool{}
+	start := time.Now()
+	reg, err := pool.BuildRegion(inst, m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("executor probe (procpool build): %w", err)
+	}
+	probeSecs := time.Since(start).Seconds()
+	if err := probeRegionsEqual(twin, reg); err != nil {
+		return nil, fmt.Errorf("executor probe: procpool region diverges from in-process build: %w", err)
+	}
+	return &execStatus{
+		Name:         pool.Name(),
+		Shards:       shards,
+		Info:         pool.Info(),
+		ProbeSeconds: probeSecs,
+		ProbeCells:   len(reg.Cells),
+	}, nil
+}
+
+// probeRegionsEqual compares two builds of the same configuration cell
+// for cell with bitwise float equality — the executor identity contract
+// checked on the daemon's actual dataset.
+func probeRegionsEqual(want, got *core.Region) error {
+	if len(want.Cells) != len(got.Cells) {
+		return fmt.Errorf("%d cells vs %d", len(got.Cells), len(want.Cells))
+	}
+	for i := range want.Cells {
+		wc, gc := want.Cells[i], got.Cells[i]
+		if len(wc.Hs) != len(gc.Hs) {
+			return fmt.Errorf("cell %d: %d halfspaces vs %d", i, len(gc.Hs), len(wc.Hs))
+		}
+		for j := range wc.Hs {
+			if math.Float64bits(wc.Hs[j].T) != math.Float64bits(gc.Hs[j].T) {
+				return fmt.Errorf("cell %d halfspace %d: thresholds differ", i, j)
+			}
+			for d := range wc.Hs[j].W {
+				if math.Float64bits(wc.Hs[j].W[d]) != math.Float64bits(gc.Hs[j].W[d]) {
+					return fmt.Errorf("cell %d halfspace %d coord %d: coefficients differ", i, j, d)
+				}
+			}
+		}
+	}
+	return nil
+}

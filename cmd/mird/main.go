@@ -38,9 +38,15 @@ import (
 	"time"
 
 	"mir"
+	"mir/internal/dist"
 )
 
 func main() {
+	// The procpool executor re-execs this binary as a shard worker; when
+	// the marker env var is set, this process IS the worker and must not
+	// parse flags, load data, or listen.
+	dist.MaybeWorker()
+
 	log.SetFlags(0)
 	log.SetPrefix("mird: ")
 
@@ -57,6 +63,8 @@ func main() {
 	m := flag.Int("m", 0, "coverage threshold (default |U|/2)")
 	queueCap := flag.Int("queue", 1024, "ingest queue capacity (backpressure bound)")
 	workers := flag.Int("workers", 0, "maintenance worker count (0 = all cores)")
+	executor := flag.String("executor", "inproc", "full-build executor to verify at startup: inproc, or procpool (multi-process shard workers; the daemon refuses to serve unless the pool's region is byte-identical to the in-process build)")
+	shards := flag.Int("shards", 4, "space-sharding factor for the procpool executor probe (>= 2)")
 	flag.Parse()
 
 	products, users := loadData(*productsFile, *usersFile, *genProducts, *genUsers, *n, *u, *d, *k, *seed)
@@ -75,7 +83,18 @@ func main() {
 	log.Printf("initial region: |P|=%d |U|=%d d=%d m=%d, %d cells in %v",
 		len(products), len(users), len(products[0]), *m, mo.Region().NumCells(), time.Since(t0))
 
+	ex, err := runExecProbe(*executor, *shards, *workers, products, users, *m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ex.Name != "inproc" {
+		log.Printf("executor %s verified: shards=%d cells=%d in %.3fs, dispatched=%d respawned=%d shipped=%dB",
+			ex.Name, ex.Shards, ex.ProbeCells, ex.ProbeSeconds,
+			ex.Info.DispatchedShards, ex.Info.RespawnedWorkers, ex.Info.ShippedBytes)
+	}
+
 	srv := newServer(mo, products, *queueCap)
+	srv.exec = ex
 	srv.start()
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 

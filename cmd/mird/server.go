@@ -69,6 +69,11 @@ type server struct {
 	cur  atomic.Pointer[epochSnap]
 	hub  *watchHub
 	done chan struct{} // closed when the writer has drained and exited
+
+	// exec records the startup executor probe (see runExecProbe); its
+	// counters are immutable once the daemon serves, so /stats reads them
+	// without synchronization.
+	exec *execStatus
 }
 
 func newServer(mo *mir.Monitor, products [][]float64, queueCap int) *server {
@@ -80,6 +85,7 @@ func newServer(mo *mir.Monitor, products [][]float64, queueCap int) *server {
 		present:    make(map[int]bool),
 		hub:        newWatchHub(),
 		done:       make(chan struct{}),
+		exec:       &execStatus{Name: "inproc"},
 	}
 	for h := 0; h < mo.NumUsers(); h++ {
 		s.present[h] = true
@@ -362,6 +368,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"routedLeaves":    st.RoutedLeaves,
 		"skippedSubtrees": st.SkippedSubtrees,
 		"touchedFrontier": st.TouchedFrontier,
+		// Startup executor probe (immutable after startup): which full-build
+		// executor was verified and, for procpool, the transport counters of
+		// that verification build. Maintenance itself always runs in-process.
+		"executor":          s.exec.Name,
+		"executorShards":    s.exec.Shards,
+		"dispatchedShards":  s.exec.Info.DispatchedShards,
+		"respawnedWorkers":  s.exec.Info.RespawnedWorkers,
+		"fallbackInProcess": s.exec.Info.FallbackInProcess,
+		"shippedBytes":      s.exec.Info.ShippedBytes,
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,7 +16,15 @@ import (
 	"time"
 
 	"mir"
+	"mir/internal/dist"
 )
+
+// TestMain lets the executor-probe smoke re-exec this test binary as a
+// shard worker, exactly as the mird binary itself embeds the worker.
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 func testMonitor(t *testing.T, nP, nU, d, k, m int) (*mir.Monitor, [][]float64) {
 	t.Helper()
@@ -197,13 +206,15 @@ func TestMirdSmokeReadsDuringWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st struct {
-		QueueLen      int    `json:"queueLen"`
-		QueueCap      *int   `json:"queueCap"`
-		LastDrainSize *int   `json:"lastDrainSize"`
-		Applied       uint64 `json:"applied"`
-		CountDesyncs  int64  `json:"countDesyncs"`
-		NumUsers      int    `json:"numUsers"`
-		RoutedLeaves  *int   `json:"routedLeaves"`
+		QueueLen      int     `json:"queueLen"`
+		QueueCap      *int    `json:"queueCap"`
+		LastDrainSize *int    `json:"lastDrainSize"`
+		Applied       uint64  `json:"applied"`
+		CountDesyncs  int64   `json:"countDesyncs"`
+		NumUsers      int     `json:"numUsers"`
+		RoutedLeaves  *int    `json:"routedLeaves"`
+		Executor      *string `json:"executor"`
+		Dispatched    *int    `json:"dispatchedShards"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
@@ -225,6 +236,15 @@ func TestMirdSmokeReadsDuringWrites(t *testing.T) {
 	}
 	if st.RoutedLeaves == nil || *st.RoutedLeaves <= 0 {
 		t.Fatalf("stats routedLeaves = %v, want positive after %d applied events", st.RoutedLeaves, st.Applied)
+	}
+	// Executor observability: a server without a procpool probe reports the
+	// in-process executor and zero dispatched shards (pointers distinguish a
+	// missing field from the zero value).
+	if st.Executor == nil || *st.Executor != "inproc" {
+		t.Fatalf("stats executor = %v, want inproc", st.Executor)
+	}
+	if st.Dispatched == nil || *st.Dispatched != 0 {
+		t.Fatalf("stats dispatchedShards = %v, want 0 without a procpool probe", st.Dispatched)
 	}
 }
 
@@ -493,5 +513,77 @@ func TestStatsLastDrainSeconds(t *testing.T) {
 	}
 	if size, _ := stats["lastDrainSize"].(float64); size != 1 {
 		t.Fatalf("lastDrainSize %v, want 1", stats["lastDrainSize"])
+	}
+}
+
+// TestMirdSmokeExecutorProbe runs the procpool startup probe end to end:
+// the pool re-execs this test binary as shard workers, the probe demands
+// byte-identity with the in-process build, and the resulting counters
+// surface through /stats. Flag validation rejects unknown executors and
+// undispatchable shard counts before any build starts.
+func TestMirdSmokeExecutorProbe(t *testing.T) {
+	mo, products := testMonitor(t, 200, 16, 3, 5, 6)
+	users := mir.SynthUsers(mir.Clustered, 16, 3, 5, 12) // same seed as testMonitor
+	ex, err := runExecProbe("procpool", 2, 2, products, users, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Name != "procpool" || ex.Shards != 2 {
+		t.Fatalf("probe status %+v, want procpool over 2 shards", ex)
+	}
+	if ex.Info.DispatchedShards != 2 || ex.Info.FallbackInProcess != 0 {
+		t.Fatalf("probe dispatched %d shards with %d fallbacks, want all 2 through workers",
+			ex.Info.DispatchedShards, ex.Info.FallbackInProcess)
+	}
+	if ex.Info.ShippedBytes <= 0 || ex.ProbeCells <= 0 {
+		t.Fatalf("probe shipped %d bytes for %d cells, want both positive",
+			ex.Info.ShippedBytes, ex.ProbeCells)
+	}
+
+	srv := newServer(mo, products, 8)
+	srv.exec = ex
+	srv.start()
+	defer srv.stop()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Executor   *string `json:"executor"`
+		Shards     *int    `json:"executorShards"`
+		Dispatched *int    `json:"dispatchedShards"`
+		Respawned  *int    `json:"respawnedWorkers"`
+		Fallback   *int    `json:"fallbackInProcess"`
+		Shipped    *int64  `json:"shippedBytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Executor == nil || *st.Executor != "procpool" {
+		t.Fatalf("stats executor = %v, want procpool", st.Executor)
+	}
+	if st.Shards == nil || *st.Shards != 2 || st.Dispatched == nil || *st.Dispatched != 2 {
+		t.Fatalf("stats executorShards = %v dispatchedShards = %v, want 2 and 2", st.Shards, st.Dispatched)
+	}
+	if st.Respawned == nil || *st.Respawned != 0 || st.Fallback == nil || *st.Fallback != 0 {
+		t.Fatalf("stats respawnedWorkers = %v fallbackInProcess = %v, want 0 and 0", st.Respawned, st.Fallback)
+	}
+	if st.Shipped == nil || *st.Shipped <= 0 {
+		t.Fatalf("stats shippedBytes = %v, want positive", st.Shipped)
+	}
+
+	if _, err := runExecProbe("warp", 2, 1, products, users, 6); err == nil {
+		t.Fatal("unknown executor accepted")
+	}
+	if _, err := runExecProbe("procpool", 1, 1, products, users, 6); err == nil {
+		t.Fatal("undispatchable shard count accepted")
+	}
+	// inproc needs no probe: nothing built, nothing dispatched.
+	in, err := runExecProbe("inproc", 4, 1, products, users, 6)
+	if err != nil || in.Name != "inproc" || in.Info.DispatchedShards != 0 {
+		t.Fatalf("inproc probe = %+v, %v; want a bare inproc status", in, err)
 	}
 }

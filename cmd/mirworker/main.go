@@ -1,0 +1,21 @@
+// Command mirworker is a standalone shard-build worker for the
+// multi-process executor (internal/dist): it speaks the framed-gob
+// worker protocol on stdin/stdout and nothing else. The pool's default
+// is to re-exec its own binary (mirbench, mird, and the dist tests all
+// embed the worker via dist.MaybeWorker), so mirworker exists for
+// deployments that want a minimal, separately-shipped worker image —
+// point ProcPool.WorkerBin (or the hosting command's -worker-bin flag)
+// at it. Parent and worker must be built from the same tree; the
+// protocol version check turns a skew into a startup error instead of a
+// wrong region.
+package main
+
+import (
+	"os"
+
+	"mir/internal/dist"
+)
+
+func main() {
+	os.Exit(dist.WorkerMain(os.Stdin, os.Stdout))
+}

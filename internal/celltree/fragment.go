@@ -1,0 +1,106 @@
+package celltree
+
+import (
+	"fmt"
+
+	"mir/internal/geom"
+)
+
+// Fragment is the wire form of one shard's region fragment: the reported
+// cells' H-representations and MBBs flattened into four numeric slices.
+// The flattening exists for the process boundary (internal/dist ships
+// fragments over framed gob), and it is deliberately lossless and
+// order-preserving: cells round-trip in slice order with every float64
+// bit-identical, because the executor byte-identity contract compares
+// merged regions coordinate by coordinate. A flat layout also keeps gob
+// from walking one descriptor per halfspace — encoding four []float64s
+// is a single memcpy-ish pass per slice.
+//
+// Layout: cell i has Counts[i] halfspaces; its rows live consecutively
+// in W (Counts[i]×Dim coefficients) with thresholds in T (Counts[i]
+// values); MBB holds 2·Dim values per cell (lo corner then hi corner).
+type Fragment struct {
+	Dim    int
+	Counts []int32
+	T      []float64
+	W      []float64
+	MBB    []float64
+}
+
+// EncodeFragment flattens reported cells and their MBBs into a Fragment.
+// mbbs must be parallel to cells (both may be empty: a shard that died
+// at its root reports no cells).
+func EncodeFragment(dim int, cells []*geom.Polytope, mbbs [][2]geom.Vector) (Fragment, error) {
+	if len(mbbs) != len(cells) {
+		return Fragment{}, fmt.Errorf("celltree: %d cells but %d MBBs", len(cells), len(mbbs))
+	}
+	f := Fragment{Dim: dim, Counts: make([]int32, len(cells))}
+	nHs := 0
+	for _, c := range cells {
+		nHs += len(c.Hs)
+	}
+	f.T = make([]float64, 0, nHs)
+	f.W = make([]float64, 0, nHs*dim)
+	f.MBB = make([]float64, 0, 2*dim*len(cells))
+	for i, c := range cells {
+		if c.Dim != dim {
+			return Fragment{}, fmt.Errorf("celltree: cell %d has dim %d, fragment dim %d", i, c.Dim, dim)
+		}
+		f.Counts[i] = int32(len(c.Hs))
+		for _, h := range c.Hs {
+			if len(h.W) != dim {
+				return Fragment{}, fmt.Errorf("celltree: cell %d halfspace row has %d coords, want %d", i, len(h.W), dim)
+			}
+			f.W = append(f.W, h.W...)
+			f.T = append(f.T, h.T)
+		}
+		if len(mbbs[i][0]) != dim || len(mbbs[i][1]) != dim {
+			return Fragment{}, fmt.Errorf("celltree: cell %d MBB has dims %d/%d, want %d", i, len(mbbs[i][0]), len(mbbs[i][1]), dim)
+		}
+		f.MBB = append(f.MBB, mbbs[i][0]...)
+		f.MBB = append(f.MBB, mbbs[i][1]...)
+	}
+	return f, nil
+}
+
+// Decode rebuilds the cells and MBBs from the flat layout, validating
+// every length so a truncated or corrupted frame surfaces as an error
+// instead of a panic deep in the merge. Halfspace rows sub-slice two
+// backing arrays (one for W rows, one for MBB corners) — the same flat
+// layout the instance keeps its own user matrix in — so a decoded
+// fragment costs O(cells) allocations, not O(halfspaces).
+func (f Fragment) Decode() ([]*geom.Polytope, [][2]geom.Vector, error) {
+	if f.Dim <= 0 {
+		return nil, nil, fmt.Errorf("celltree: fragment dim %d", f.Dim)
+	}
+	nHs := 0
+	for i, c := range f.Counts {
+		if c < 0 {
+			return nil, nil, fmt.Errorf("celltree: fragment cell %d has negative count %d", i, c)
+		}
+		nHs += int(c)
+	}
+	if len(f.T) != nHs || len(f.W) != nHs*f.Dim {
+		return nil, nil, fmt.Errorf("celltree: fragment length mismatch: %d counts total %d, |T|=%d |W|=%d dim=%d",
+			len(f.Counts), nHs, len(f.T), len(f.W), f.Dim)
+	}
+	if len(f.MBB) != 2*f.Dim*len(f.Counts) {
+		return nil, nil, fmt.Errorf("celltree: fragment MBB length %d, want %d", len(f.MBB), 2*f.Dim*len(f.Counts))
+	}
+	cells := make([]*geom.Polytope, len(f.Counts))
+	mbbs := make([][2]geom.Vector, len(f.Counts))
+	w, t, mb := f.W, f.T, f.MBB
+	for i, c := range f.Counts {
+		p := &geom.Polytope{Dim: f.Dim, Hs: make([]geom.Halfspace, c)}
+		for j := range p.Hs {
+			p.Hs[j] = geom.Halfspace{W: w[:f.Dim:f.Dim], T: t[j]}
+			w = w[f.Dim:]
+		}
+		t = t[c:]
+		cells[i] = p
+		mbbs[i][0] = geom.Vector(mb[:f.Dim:f.Dim])
+		mbbs[i][1] = geom.Vector(mb[f.Dim : 2*f.Dim : 2*f.Dim])
+		mb = mb[2*f.Dim:]
+	}
+	return cells, mbbs, nil
+}

@@ -1,0 +1,133 @@
+package celltree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mir/internal/geom"
+)
+
+// TestFragmentRoundTrip pins the codec's core contract: cells and MBBs
+// round-trip in order with every float64 bit-identical — including the
+// awkward values (signed zero, subnormals, huge magnitudes) gob must
+// carry exactly for the cross-process byte-identity gate to mean
+// anything.
+func TestFragmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	awkward := []float64{0, math.Copysign(0, -1), math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, 1e300, -1e-300, math.Pi}
+	for _, dim := range []int{2, 3, 5} {
+		var cells []*geom.Polytope
+		var mbbs [][2]geom.Vector
+		for i := 0; i < 17; i++ {
+			nHs := rng.Intn(6) // zero-halfspace cells are legal (an unsplit root)
+			p := &geom.Polytope{Dim: dim}
+			for j := 0; j < nHs; j++ {
+				w := make(geom.Vector, dim)
+				for d := range w {
+					if rng.Intn(4) == 0 {
+						w[d] = awkward[rng.Intn(len(awkward))]
+					} else {
+						w[d] = rng.NormFloat64()
+					}
+				}
+				p.Hs = append(p.Hs, geom.Halfspace{W: w, T: rng.NormFloat64()})
+			}
+			cells = append(cells, p)
+			lo := make(geom.Vector, dim)
+			hi := make(geom.Vector, dim)
+			for d := range lo {
+				lo[d], hi[d] = rng.Float64(), rng.Float64()
+			}
+			mbbs = append(mbbs, [2]geom.Vector{lo, hi})
+		}
+		f, err := EncodeFragment(dim, cells, mbbs)
+		if err != nil {
+			t.Fatalf("dim=%d encode: %v", dim, err)
+		}
+		gotCells, gotMBBs, err := f.Decode()
+		if err != nil {
+			t.Fatalf("dim=%d decode: %v", dim, err)
+		}
+		if len(gotCells) != len(cells) || len(gotMBBs) != len(mbbs) {
+			t.Fatalf("dim=%d: got %d cells / %d MBBs, want %d", dim, len(gotCells), len(gotMBBs), len(cells))
+		}
+		for i, want := range cells {
+			got := gotCells[i]
+			if got.Dim != want.Dim || len(got.Hs) != len(want.Hs) {
+				t.Fatalf("dim=%d cell %d: shape mismatch", dim, i)
+			}
+			for j, h := range want.Hs {
+				if math.Float64bits(got.Hs[j].T) != math.Float64bits(h.T) {
+					t.Fatalf("dim=%d cell %d hs %d: T %v != %v", dim, i, j, got.Hs[j].T, h.T)
+				}
+				for d := range h.W {
+					if math.Float64bits(got.Hs[j].W[d]) != math.Float64bits(h.W[d]) {
+						t.Fatalf("dim=%d cell %d hs %d coord %d: %v != %v", dim, i, j, d, got.Hs[j].W[d], h.W[d])
+					}
+				}
+			}
+			for s := 0; s < 2; s++ {
+				for d := range mbbs[i][s] {
+					if math.Float64bits(gotMBBs[i][s][d]) != math.Float64bits(mbbs[i][s][d]) {
+						t.Fatalf("dim=%d cell %d MBB[%d][%d] mismatch", dim, i, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFragmentEmpty pins that a shard reporting no cells (decided at its
+// root) round-trips as an empty, valid fragment.
+func TestFragmentEmpty(t *testing.T) {
+	f, err := EncodeFragment(3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, mbbs, err := f.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 || len(mbbs) != 0 {
+		t.Fatalf("empty fragment decoded to %d cells / %d MBBs", len(cells), len(mbbs))
+	}
+}
+
+// TestFragmentValidation pins that malformed fragments fail decode with
+// an error instead of panicking in the merge.
+func TestFragmentValidation(t *testing.T) {
+	base := func() Fragment {
+		return Fragment{Dim: 2, Counts: []int32{1}, T: []float64{1}, W: []float64{1, 2}, MBB: []float64{0, 0, 1, 1}}
+	}
+	if _, _, err := base().Decode(); err != nil {
+		t.Fatalf("well-formed fragment rejected: %v", err)
+	}
+	cases := map[string]Fragment{}
+	f := base()
+	f.T = nil
+	cases["missing T"] = f
+	f = base()
+	f.W = f.W[:1]
+	cases["short W"] = f
+	f = base()
+	f.MBB = f.MBB[:3]
+	cases["short MBB"] = f
+	f = base()
+	f.Counts[0] = -1
+	cases["negative count"] = f
+	f = base()
+	f.Dim = 0
+	cases["zero dim"] = f
+	for name, frag := range cases {
+		if _, _, err := frag.Decode(); err == nil {
+			t.Errorf("%s: decode accepted malformed fragment", name)
+		}
+	}
+	if _, err := EncodeFragment(2, []*geom.Polytope{{Dim: 2}}, nil); err == nil {
+		t.Error("encode accepted mismatched cells/MBBs")
+	}
+	if _, err := EncodeFragment(2, []*geom.Polytope{{Dim: 3}}, make([][2]geom.Vector, 1)); err == nil {
+		t.Error("encode accepted wrong-dim cell")
+	}
+}

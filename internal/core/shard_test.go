@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
 	"mir/internal/celltree"
@@ -44,7 +46,7 @@ func TestShardBoxesPartition(t *testing.T) {
 		inst := randomInstance(t, rng, 300, 24, d, 5)
 		m := len(inst.Users) / 2
 		for _, shards := range []int{1, 2, 4, 8, 16} {
-			boxes := shardBoxes(inst, m, shards)
+			boxes := PlanShards(inst, m, shards)
 			if len(boxes) != shards {
 				t.Fatalf("d=%d shards=%d: %d boxes", d, shards, len(boxes))
 			}
@@ -53,30 +55,30 @@ func TestShardBoxesPartition(t *testing.T) {
 			for s, b := range boxes {
 				v := 1.0
 				for j := 0; j < d; j++ {
-					if b.lo[j] >= b.hi[j] || b.lo[j] < 0 || b.hi[j] > 1 {
-						t.Fatalf("d=%d shards=%d box %d malformed: lo=%v hi=%v", d, shards, s, b.lo, b.hi)
+					if b.Lo[j] >= b.Hi[j] || b.Lo[j] < 0 || b.Hi[j] > 1 {
+						t.Fatalf("d=%d shards=%d box %d malformed: lo=%v hi=%v", d, shards, s, b.Lo, b.Hi)
 					}
-					v *= b.hi[j] - b.lo[j]
+					v *= b.Hi[j] - b.Lo[j]
 				}
 				vol += v
-				if ids[b.id] {
-					t.Fatalf("d=%d shards=%d: duplicate shard root ID %d", d, shards, b.id)
+				if ids[b.ID] {
+					t.Fatalf("d=%d shards=%d: duplicate shard root ID %d", d, shards, b.ID)
 				}
-				ids[b.id] = true
+				ids[b.ID] = true
 				// Heaviest-first bisection produces uneven depths, but a box
 				// never needs more than shards-1 cuts above it, and its ID
 				// must sit on the heap level of its own depth.
-				if shards > 1 && (b.depth < 1 || b.depth > shards-1) {
-					t.Fatalf("d=%d shards=%d box %d: depth %d out of range", d, shards, s, b.depth)
+				if shards > 1 && (b.Depth < 1 || b.Depth > shards-1) {
+					t.Fatalf("d=%d shards=%d box %d: depth %d out of range", d, shards, s, b.Depth)
 				}
-				if b.id < (1<<b.depth)-1 || b.id > (1<<(b.depth+1))-2 {
-					t.Fatalf("d=%d shards=%d box %d: ID %d outside heap level %d", d, shards, s, b.id, b.depth)
+				if b.ID < (1<<b.Depth)-1 || b.ID > (1<<(b.Depth+1))-2 {
+					t.Fatalf("d=%d shards=%d box %d: ID %d outside heap level %d", d, shards, s, b.ID, b.Depth)
 				}
 				// Interior disjointness against every earlier box.
 				for r := 0; r < s; r++ {
 					overlap := true
 					for j := 0; j < d; j++ {
-						if boxes[r].hi[j] <= b.lo[j] || b.hi[j] <= boxes[r].lo[j] {
+						if boxes[r].Hi[j] <= b.Lo[j] || b.Hi[j] <= boxes[r].Lo[j] {
 							overlap = false
 							break
 						}
@@ -88,6 +90,57 @@ func TestShardBoxesPartition(t *testing.T) {
 			}
 			if math.Abs(vol-1.0) > 1e-12 {
 				t.Fatalf("d=%d shards=%d: total volume %g", d, shards, vol)
+			}
+		}
+	}
+}
+
+// TestShardBoxIDsPrefixFree is the seam contract the multi-process wire
+// protocol depends on (internal/dist ships boxes by ID and merges
+// fragments in slice order): every shard root ID encodes the box's
+// bisection path, no path is a prefix of another (so no shard's subtree
+// of cell IDs can collide with another's), and the boxes enumerate in
+// bisection-path (in-order, i.e. lexicographic path) order.
+func TestShardBoxIDsPrefixFree(t *testing.T) {
+	// Reconstruct the root→leaf bit path from a heap ID: child 2i+1 is
+	// the low ("0") side, 2i+2 the high ("1") side.
+	path := func(b ShardBox) string {
+		bits := make([]byte, b.Depth)
+		id := b.ID
+		for l := b.Depth - 1; l >= 0; l-- {
+			parent := (id - 1) / 2
+			if id == 2*parent+2 {
+				bits[l] = '1'
+			} else {
+				bits[l] = '0'
+			}
+			id = parent
+		}
+		return string(bits)
+	}
+	rng := rand.New(rand.NewSource(88))
+	for _, d := range []int{2, 3} {
+		inst := randomInstance(t, rng, 300, 24, d, 5)
+		m := len(inst.Users) / 2
+		for _, shards := range []int{2, 4, 8, 16} {
+			boxes := PlanShards(inst, m, shards)
+			paths := make([]string, len(boxes))
+			for i, b := range boxes {
+				paths[i] = path(b)
+				if len(paths[i]) != b.Depth {
+					t.Fatalf("d=%d shards=%d box %d: path %q does not match depth %d", d, shards, i, paths[i], b.Depth)
+				}
+			}
+			for i := range paths {
+				for j := range paths {
+					if i != j && strings.HasPrefix(paths[j], paths[i]) {
+						t.Fatalf("d=%d shards=%d: box %d path %q is a prefix of box %d path %q — their cell-ID subtrees overlap",
+							d, shards, i, paths[i], j, paths[j])
+					}
+				}
+			}
+			if !sort.StringsAreSorted(paths) {
+				t.Fatalf("d=%d shards=%d: boxes not in bisection-path order: %v", d, shards, paths)
 			}
 		}
 	}
@@ -240,13 +293,13 @@ func TestShardedCounters(t *testing.T) {
 		if shards >= 4 && reg.Stats.PrescreenedOut == 0 {
 			t.Fatalf("shards=%d: prescreen absorbed nothing", shards)
 		}
-		boxes := shardBoxes(inst, m, shards)
+		boxes := PlanShards(inst, m, shards)
 		for i, mbb := range reg.MBBs {
 			inSome := false
 			for _, b := range boxes {
 				ok := true
 				for j := 0; j < inst.Dim; j++ {
-					if mbb[0][j] < b.lo[j]-1e-9 || mbb[1][j] > b.hi[j]+1e-9 {
+					if mbb[0][j] < b.Lo[j]-1e-9 || mbb[1][j] > b.Hi[j]+1e-9 {
 						ok = false
 						break
 					}

@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"mir/internal/core"
+)
+
+// ShardExecutor builds an m-impact region from an instance. The two
+// implementations are InProcess (exactly core.AA: the historical path,
+// sharded or not per Options) and ProcPool (the sharded build with the
+// per-shard work dispatched to forked worker processes). The contract
+// every executor must meet: for identical (instance, m, Options) the
+// merged region and all algorithmic Stats are byte-identical across
+// executors; only transport and scheduling counters may differ.
+type ShardExecutor interface {
+	Name() string
+	BuildRegion(inst *core.Instance, m int, opts core.Options) (*core.Region, error)
+}
+
+// InProcess is the in-process executor: the sharded (or single-tree)
+// build exactly as core.AA runs it today. It is the reference
+// implementation the multi-process pool is gated against, and the path
+// the pool degrades to when workers cannot be spawned.
+type InProcess struct{}
+
+// Name implements ShardExecutor.
+func (InProcess) Name() string { return "inproc" }
+
+// BuildRegion implements ShardExecutor.
+func (InProcess) BuildRegion(inst *core.Instance, m int, opts core.Options) (*core.Region, error) {
+	return core.AA(inst, m, opts)
+}
+
+// ExecInfo reports how a ProcPool build executed. All fields reset at
+// the start of each BuildRegion; Info() returns the last build's values.
+type ExecInfo struct {
+	// Shards and PoolWorkers describe the build's shape: the resolved
+	// shard count and the number of worker-process slots the pool ran.
+	Shards      int
+	PoolWorkers int
+	// DispatchedShards counts shards whose fragment came back from a
+	// worker process; FallbackInProcess counts shards computed in-process
+	// after worker attempts were exhausted. The two always sum to Shards.
+	DispatchedShards  int
+	FallbackInProcess int
+	// RespawnedWorkers counts worker processes started to replace one
+	// that crashed, hung past the shard timeout, or broke protocol.
+	// SpawnFailures counts spawn attempts that failed outright (bad
+	// binary, exec error, instance ship failure).
+	RespawnedWorkers int
+	SpawnFailures    int
+	// ShippedBytes totals frame bytes written to workers: the
+	// once-encoded instance payload counted per worker it was shipped
+	// to, plus every job frame. MaxWorkerRSSBytes is the largest
+	// peak-RSS any worker process reached (0 where the platform does not
+	// report rusage) — the per-process memory the GC-isolation argument
+	// is about.
+	ShippedBytes      int64
+	MaxWorkerRSSBytes int64
+}

@@ -1,0 +1,323 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"mir/internal/core"
+	"mir/internal/data"
+)
+
+// TestMain doubles this test binary as the shard worker: the pool
+// spawns os.Executable() with the worker env marker set, so every test
+// here exercises a worker built from the exact tree under test — no
+// separate binary to stage or skew.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func testInstance(t *testing.T, seed int64, nP, nU, d, k int) *core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ps := data.Independent(rng, nP, d)
+	us := data.WithK(data.ClusteredUsers(rng, nU, d, 3, 0.08), k)
+	inst, err := core.NewInstance(ps, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// scrubStats zeroes the counters outside the executor byte-identity
+// contract: the scheduling-sensitive pair and the transport counters.
+func scrubStats(s core.Stats) core.Stats {
+	s.StealCount = 0
+	s.MaxFrontier = 0
+	s.DispatchedShards = 0
+	s.RespawnedWorkers = 0
+	s.FallbackInProcess = 0
+	s.ShippedBytes = 0
+	return s
+}
+
+// requireIdentical asserts the two regions are byte-identical: same
+// cells in the same order, every halfspace coefficient and MBB corner
+// bit-for-bit equal, same ShardCells, and (scrubbed) equal Stats.
+func requireIdentical(t *testing.T, tag string, want, got *core.Region) {
+	t.Helper()
+	if want.Dim != got.Dim || want.M != got.M {
+		t.Fatalf("%s: shape mismatch: dim %d/%d m %d/%d", tag, want.Dim, got.Dim, want.M, got.M)
+	}
+	if len(want.Cells) != len(got.Cells) {
+		t.Fatalf("%s: %d cells, want %d", tag, len(got.Cells), len(want.Cells))
+	}
+	for i := range want.Cells {
+		wc, gc := want.Cells[i], got.Cells[i]
+		if len(wc.Hs) != len(gc.Hs) {
+			t.Fatalf("%s: cell %d has %d halfspaces, want %d", tag, i, len(gc.Hs), len(wc.Hs))
+		}
+		for j := range wc.Hs {
+			if math.Float64bits(wc.Hs[j].T) != math.Float64bits(gc.Hs[j].T) {
+				t.Fatalf("%s: cell %d hs %d: T %v != %v", tag, i, j, gc.Hs[j].T, wc.Hs[j].T)
+			}
+			for d := range wc.Hs[j].W {
+				if math.Float64bits(wc.Hs[j].W[d]) != math.Float64bits(gc.Hs[j].W[d]) {
+					t.Fatalf("%s: cell %d hs %d coord %d: %v != %v", tag, i, j, d, gc.Hs[j].W[d], wc.Hs[j].W[d])
+				}
+			}
+		}
+		for s := 0; s < 2; s++ {
+			for d := range want.MBBs[i][s] {
+				if math.Float64bits(want.MBBs[i][s][d]) != math.Float64bits(got.MBBs[i][s][d]) {
+					t.Fatalf("%s: cell %d MBB corner mismatch", tag, i)
+				}
+			}
+		}
+	}
+	if len(want.ShardCells) != len(got.ShardCells) {
+		t.Fatalf("%s: ShardCells %v, want %v", tag, got.ShardCells, want.ShardCells)
+	}
+	for i := range want.ShardCells {
+		if want.ShardCells[i] != got.ShardCells[i] {
+			t.Fatalf("%s: ShardCells %v, want %v", tag, got.ShardCells, want.ShardCells)
+		}
+	}
+	if sw, sg := scrubStats(want.Stats), scrubStats(got.Stats); sw != sg {
+		t.Fatalf("%s: stats diverge:\n got %+v\nwant %+v", tag, sg, sw)
+	}
+}
+
+// TestProcPoolByteIdentical is the acceptance property: for every shard
+// count and every pool worker count, the multi-process build merges to a
+// region byte-identical to the in-process executor's, with identical
+// algorithmic stats.
+func TestProcPoolByteIdentical(t *testing.T) {
+	inst := testInstance(t, 71, 300, 24, 3, 5)
+	m := 12
+	for _, shards := range []int{2, 4, 8} {
+		opts := core.Options{Workers: 1, Shards: shards}
+		want, err := InProcess{}.BuildRegion(inst, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pw := range []int{1, 2, 4, 8} {
+			pool := &ProcPool{Workers: pw}
+			got, err := pool.BuildRegion(inst, m, opts)
+			if err != nil {
+				t.Fatalf("shards=%d pool=%d: %v", shards, pw, err)
+			}
+			requireIdentical(t, fmt.Sprintf("shards=%d pool=%d", shards, pw), want, got)
+			info := pool.Info()
+			if info.DispatchedShards != shards || info.FallbackInProcess != 0 {
+				t.Fatalf("shards=%d pool=%d: dispatched %d fallback %d, want %d/0",
+					shards, pw, info.DispatchedShards, info.FallbackInProcess, shards)
+			}
+			if got.Stats.DispatchedShards != shards || got.Stats.ShippedBytes <= 0 {
+				t.Fatalf("shards=%d pool=%d: transport stats not surfaced: %+v", shards, pw, info)
+			}
+			if want.Stats.DispatchedShards != 0 || want.Stats.ShippedBytes != 0 {
+				t.Fatalf("in-process build reported transport counters: %+v", want.Stats)
+			}
+		}
+	}
+}
+
+// TestProcPoolParallelWorkersIdentical covers the frontier interaction:
+// shard builds running Workers>1 inside each worker process still merge
+// byte-identically (only the scheduling-sensitive counters may move).
+func TestProcPoolParallelWorkersIdentical(t *testing.T) {
+	inst := testInstance(t, 72, 300, 24, 3, 5)
+	m := 12
+	opts := core.Options{Workers: 4, Shards: 4}
+	want, err := InProcess{}.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &ProcPool{Workers: 2}
+	got, err := pool.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "workers=4 shards=4", want, got)
+}
+
+// TestDistSmokeIdentity is the small matrix `make dist-smoke` runs under
+// the race detector: shards 2 and 4 through a 2-process pool.
+func TestDistSmokeIdentity(t *testing.T) {
+	inst := testInstance(t, 73, 200, 16, 3, 4)
+	m := 8
+	for _, shards := range []int{2, 4} {
+		opts := core.Options{Workers: 1, Shards: shards}
+		want, err := InProcess{}.BuildRegion(inst, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := &ProcPool{Workers: 2}
+		got, err := pool.BuildRegion(inst, m, opts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		requireIdentical(t, fmt.Sprintf("smoke shards=%d", shards), want, got)
+	}
+}
+
+// TestDistSmokeCrashRetry injects a crash into shard 1's first dispatch:
+// the worker dies mid-shard, the pool respawns and retries, and the
+// merged region is byte-identical to the in-process build — the
+// respawn visible only in the transport counters.
+func TestDistSmokeCrashRetry(t *testing.T) {
+	inst := testInstance(t, 74, 200, 16, 3, 4)
+	m := 8
+	opts := core.Options{Workers: 1, Shards: 4}
+	want, err := InProcess{}.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &ProcPool{Workers: 2, testCrashSeq: 2}
+	got, err := pool.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "crash-retry", want, got)
+	info := pool.Info()
+	if info.RespawnedWorkers < 1 {
+		t.Fatalf("no respawn recorded after injected crash: %+v", info)
+	}
+	if info.DispatchedShards != 4 || info.FallbackInProcess != 0 {
+		t.Fatalf("crashed shard not retried through a worker: %+v", info)
+	}
+	if got.Stats.RespawnedWorkers != info.RespawnedWorkers {
+		t.Fatalf("respawns not surfaced in Stats: %d != %d", got.Stats.RespawnedWorkers, info.RespawnedWorkers)
+	}
+}
+
+// TestProcPoolTimeoutRespawn injects a hang: the shard times out, the
+// worker is killed and replaced, and the retry succeeds.
+func TestProcPoolTimeoutRespawn(t *testing.T) {
+	inst := testInstance(t, 75, 200, 16, 3, 4)
+	m := 8
+	opts := core.Options{Workers: 1, Shards: 2}
+	want, err := InProcess{}.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &ProcPool{Workers: 2, ShardTimeout: 2 * time.Second, testHangSeq: 1}
+	got, err := pool.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "timeout-respawn", want, got)
+	info := pool.Info()
+	if info.RespawnedWorkers < 1 || info.DispatchedShards != 2 {
+		t.Fatalf("hung shard not recovered through a worker: %+v", info)
+	}
+}
+
+// TestProcPoolSpawnFallback points the pool at a nonexistent worker
+// binary: every shard degrades to the in-process seam, the result is
+// still byte-identical, and the degradation is recorded in Stats.
+func TestProcPoolSpawnFallback(t *testing.T) {
+	inst := testInstance(t, 76, 200, 16, 3, 4)
+	m := 8
+	opts := core.Options{Workers: 1, Shards: 4}
+	want, err := InProcess{}.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &ProcPool{Workers: 2, WorkerBin: "/nonexistent/mir-dist-worker"}
+	got, err := pool.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "spawn-fallback", want, got)
+	info := pool.Info()
+	if info.FallbackInProcess != 4 || info.DispatchedShards != 0 {
+		t.Fatalf("expected full in-process degradation: %+v", info)
+	}
+	if info.SpawnFailures == 0 {
+		t.Fatalf("spawn failures not counted: %+v", info)
+	}
+	if got.Stats.FallbackInProcess != 4 {
+		t.Fatalf("fallback not surfaced in Stats: %+v", got.Stats)
+	}
+}
+
+// TestProcPoolSingleShard pins that a build resolving to one shard runs
+// in-process directly (nothing to distribute) with zero transport
+// counters — byte-identical to the historical single-tree build.
+func TestProcPoolSingleShard(t *testing.T) {
+	inst := testInstance(t, 77, 200, 16, 3, 4)
+	m := 8
+	opts := core.Options{Workers: 1}
+	want, err := InProcess{}.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &ProcPool{Workers: 2}
+	got, err := pool.BuildRegion(inst, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "single-shard", want, got)
+	if info := pool.Info(); info.ShippedBytes != 0 || info.DispatchedShards != 0 {
+		t.Fatalf("single-shard build shipped work: %+v", info)
+	}
+}
+
+// TestProcPoolInstanceShippedOncePerWorker pins the satellite contract:
+// the instance payload is encoded once and shipped once per worker
+// process, so a 2-process build ships more than a 1-process build of
+// the same instance by exactly one instance payload (job frames equal).
+func TestProcPoolInstanceShippedOncePerWorker(t *testing.T) {
+	inst := testInstance(t, 78, 200, 16, 3, 4)
+	m := 8
+	opts := core.Options{Workers: 1, Shards: 4}
+	ship := func(pw int) int64 {
+		pool := &ProcPool{Workers: pw}
+		if _, err := pool.BuildRegion(inst, m, opts); err != nil {
+			t.Fatal(err)
+		}
+		info := pool.Info()
+		if info.DispatchedShards != 4 {
+			t.Fatalf("pool=%d: %+v", pw, info)
+		}
+		return info.ShippedBytes
+	}
+	one, two := ship(1), ship(2)
+	payload, err := encodeFrame(&instanceFrame{
+		Proto: protoVersion, Products: inst.Products, Users: inst.Users, Opts: opts, M: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instBytes := int64(4 + len(payload))
+	if two-one != instBytes {
+		t.Fatalf("2-worker build shipped %d more bytes than 1-worker; want exactly one instance payload (%d)",
+			two-one, instBytes)
+	}
+}
+
+// TestWorkerProtocolVersion pins that a worker rejects an instance frame
+// from a different protocol version instead of computing with it.
+func TestWorkerProtocolVersion(t *testing.T) {
+	payload, err := encodeFrame(&instanceFrame{Proto: protoVersion + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out bytes.Buffer
+	if _, err := writeFrame(&in, payload); err != nil {
+		t.Fatal(err)
+	}
+	if code := WorkerMain(&in, &out); code == 0 {
+		t.Fatal("worker accepted a mismatched protocol version")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("worker wrote %d bytes before rejecting the handshake", out.Len())
+	}
+}

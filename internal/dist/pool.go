@@ -1,0 +1,363 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync"
+	"time"
+
+	"mir/internal/core"
+	"mir/internal/geom"
+	"mir/internal/par"
+)
+
+// ProcPool is the out-of-process shard executor: it forks worker
+// processes (its own executable by default, re-entered through
+// MaybeWorker), ships each the instance once, then feeds them shard
+// jobs — one outstanding job per worker — and merges the streamed
+// fragments in shard-ID order.
+//
+// Failure model: a worker that crashes, hangs past ShardTimeout, or
+// breaks protocol is killed and replaced, and its shard is re-dispatched
+// (shard builds are pure functions of instance+box, so a retry is safe
+// and byte-identical); after MaxAttempts worker tries the shard is
+// computed in-process. If no worker can be spawned at all the whole
+// build degrades to the in-process seam shard by shard. Every one of
+// these events is counted in ExecInfo and surfaced in the merged
+// region's transport Stats.
+type ProcPool struct {
+	// WorkerBin is the worker executable; "" uses os.Executable() (the
+	// parent re-entered as a worker via MaybeWorker, so parent and
+	// worker are always the same build).
+	WorkerBin string
+	// Workers is the number of worker processes; 0 defaults to
+	// min(shards, max(2, NumCPU)).
+	Workers int
+	// ShardTimeout bounds one shard dispatch; 0 defaults to 2 minutes.
+	ShardTimeout time.Duration
+	// MaxAttempts is the number of worker tries per shard before the
+	// pool computes it in-process; 0 defaults to 2 (one retry).
+	MaxAttempts int
+
+	mu   sync.Mutex
+	info ExecInfo
+
+	// Fault-injection hooks (tests only): inject a crash / hang into the
+	// first dispatch attempt of shard seq-1 (0 = off).
+	testCrashSeq int
+	testHangSeq  int
+}
+
+// Name implements ShardExecutor.
+func (p *ProcPool) Name() string { return "procpool" }
+
+// Info returns the execution profile of the last BuildRegion.
+func (p *ProcPool) Info() ExecInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.info
+}
+
+// BuildRegion implements ShardExecutor. Builds resolving to a single
+// shard run in-process directly — there is no parallelism to ship — and
+// report zero transport counters, exactly like InProcess.
+func (p *ProcPool) BuildRegion(inst *core.Instance, m int, opts core.Options) (*core.Region, error) {
+	shards := core.EffectiveShards(opts)
+	p.mu.Lock()
+	p.info = ExecInfo{Shards: shards}
+	p.mu.Unlock()
+	if shards <= 1 {
+		return core.AA(inst, m, opts)
+	}
+	if err := inst.CheckM(m); err != nil {
+		return nil, err
+	}
+	boxes := core.PlanShards(inst, m, shards)
+	rels := make([][]geom.Relation, shards)
+	par.For(shards, par.Resolve(opts.Workers), func(s int) {
+		rels[s] = core.PrescreenShard(inst, boxes[s])
+	})
+	// The instance is encoded exactly once per build; the self-contained
+	// payload is replayed verbatim to every worker (re)spawned.
+	instPayload, err := encodeFrame(&instanceFrame{
+		Proto:    protoVersion,
+		Products: inst.Products,
+		Users:    inst.Users,
+		Opts:     opts,
+		M:        m,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding instance: %w", err)
+	}
+	nw := p.Workers
+	if nw <= 0 {
+		nw = max(2, runtime.NumCPU())
+	}
+	if nw > shards {
+		nw = shards
+	}
+	b := &poolBuild{
+		p:           p,
+		inst:        inst,
+		m:           m,
+		opts:        opts,
+		boxes:       boxes,
+		rels:        rels,
+		instPayload: instPayload,
+		frags:       make([]*core.Region, shards),
+		timeout:     p.ShardTimeout,
+		maxAttempts: p.MaxAttempts,
+	}
+	if b.timeout <= 0 {
+		b.timeout = 2 * time.Minute
+	}
+	if b.maxAttempts <= 0 {
+		b.maxAttempts = 2
+	}
+	p.mu.Lock()
+	p.info.PoolWorkers = nw
+	p.mu.Unlock()
+
+	jobs := make(chan int)
+	go func() {
+		for s := 0; s < shards; s++ {
+			jobs <- s
+		}
+		close(jobs)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.workerLoop(jobs)
+		}()
+	}
+	wg.Wait()
+
+	reg := core.MergeShardFragments(inst, m, b.frags)
+	info := p.Info()
+	reg.Stats.DispatchedShards = info.DispatchedShards
+	reg.Stats.RespawnedWorkers = info.RespawnedWorkers
+	reg.Stats.FallbackInProcess = info.FallbackInProcess
+	reg.Stats.ShippedBytes = info.ShippedBytes
+	return reg, nil
+}
+
+// poolBuild is the per-BuildRegion state shared by the worker-slot
+// goroutines. frags is written disjointly (one index per shard).
+type poolBuild struct {
+	p           *ProcPool
+	inst        *core.Instance
+	m           int
+	opts        core.Options
+	boxes       []core.ShardBox
+	rels        [][]geom.Relation
+	instPayload []byte
+	frags       []*core.Region
+	timeout     time.Duration
+	maxAttempts int
+}
+
+// workerLoop runs one worker slot: it owns at most one live worker
+// process at a time and pulls shard indices until the queue drains. The
+// process persists across shards (the instance ships once); it is only
+// replaced after a failure.
+func (b *poolBuild) workerLoop(jobs <-chan int) {
+	var wk *workerProc
+	spawned := 0
+	defer func() {
+		if wk != nil {
+			b.retire(wk, false)
+		}
+	}()
+	for seq := range jobs {
+		b.frags[seq] = b.buildShard(&wk, &spawned, seq)
+	}
+}
+
+// buildShard produces shard seq's fragment: through a worker process if
+// possible, in-process after retries or when no worker can be spawned.
+// It never fails — the in-process path is the same pure function.
+func (b *poolBuild) buildShard(wk **workerProc, spawned *int, seq int) *core.Region {
+	for attempt := 0; attempt < b.maxAttempts; attempt++ {
+		if *wk == nil {
+			w, err := b.spawn()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mir dist: spawning worker: %v (computing shard %d in-process)\n", err, seq)
+				b.note(func(i *ExecInfo) { i.SpawnFailures++ })
+				break
+			}
+			*spawned++
+			if *spawned > 1 {
+				b.note(func(i *ExecInfo) { i.RespawnedWorkers++ })
+			}
+			*wk = w
+		}
+		frag, err := b.dispatch(*wk, seq, attempt)
+		if err == nil {
+			b.note(func(i *ExecInfo) { i.DispatchedShards++ })
+			return frag
+		}
+		fmt.Fprintf(os.Stderr, "mir dist: shard %d attempt %d: %v\n", seq, attempt, err)
+		b.retire(*wk, true)
+		*wk = nil
+	}
+	b.note(func(i *ExecInfo) { i.FallbackInProcess++ })
+	return core.RunShardPrescreened(b.inst, b.m, b.opts, b.boxes[seq], b.rels[seq])
+}
+
+// dispatch ships one job frame and waits for its result or the timeout.
+func (b *poolBuild) dispatch(wk *workerProc, seq, attempt int) (*core.Region, error) {
+	job := jobFrame{
+		Seq:   seq,
+		Lo:    b.boxes[seq].Lo,
+		Hi:    b.boxes[seq].Hi,
+		ID:    b.boxes[seq].ID,
+		Depth: b.boxes[seq].Depth,
+		Rel:   relBytes(b.rels[seq]),
+	}
+	if attempt == 0 {
+		job.TestCrash = b.p.testCrashSeq == seq+1
+		job.TestHang = b.p.testHangSeq == seq+1
+	}
+	payload, err := encodeFrame(&job)
+	if err != nil {
+		return nil, fmt.Errorf("encoding job: %w", err)
+	}
+	n, err := writeFrame(wk.stdin, payload)
+	b.note(func(i *ExecInfo) { i.ShippedBytes += n })
+	if err != nil {
+		return nil, fmt.Errorf("shipping job: %w", err)
+	}
+	timer := time.NewTimer(b.timeout)
+	defer timer.Stop()
+	select {
+	case r, ok := <-wk.results:
+		if !ok {
+			return nil, fmt.Errorf("worker exited mid-shard")
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		res := r.frame
+		if res.Err != "" {
+			return nil, fmt.Errorf("worker: %s", res.Err)
+		}
+		if res.Seq != seq {
+			return nil, fmt.Errorf("worker answered shard %d, asked %d", res.Seq, seq)
+		}
+		cells, mbbs, err := res.Frag.Decode()
+		if err != nil {
+			return nil, err
+		}
+		return &core.Region{
+			Dim:   b.inst.Dim,
+			M:     b.m,
+			Cells: cells,
+			MBBs:  mbbs,
+			Stats: res.Stats,
+			Sched: res.Sched,
+		}, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("shard timed out after %v", b.timeout)
+	}
+}
+
+func (b *poolBuild) note(f func(*ExecInfo)) {
+	b.p.mu.Lock()
+	f(&b.p.info)
+	b.p.mu.Unlock()
+}
+
+// workerProc is one live worker process with its reader goroutine.
+type workerProc struct {
+	cmd        *exec.Cmd
+	stdin      io.WriteCloser
+	results    chan workerResult
+	readerDone chan struct{}
+}
+
+type workerResult struct {
+	frame *resultFrame
+	err   error
+}
+
+// spawn starts a worker process and ships it the instance payload.
+func (b *poolBuild) spawn() (*workerProc, error) {
+	bin := b.p.WorkerBin
+	if bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("resolving worker binary: %w", err)
+		}
+		bin = exe
+	}
+	cmd := exec.Command(bin)
+	cmd.Env = append(os.Environ(), workerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	wk := &workerProc{
+		cmd:   cmd,
+		stdin: stdin,
+		// Buffered: at most one job is outstanding per worker, so the
+		// reader never blocks publishing; the slack absorbs stray frames
+		// from a worker being retired after a timeout.
+		results:    make(chan workerResult, 16),
+		readerDone: make(chan struct{}),
+	}
+	go func() {
+		defer close(wk.readerDone)
+		defer close(wk.results)
+		for {
+			payload, err := readFrame(stdout)
+			if err != nil {
+				return // EOF or broken pipe: channel close signals it
+			}
+			res, err := decodeFrame[resultFrame](payload)
+			if err != nil {
+				wk.results <- workerResult{err: err}
+				return
+			}
+			wk.results <- workerResult{frame: res}
+		}
+	}()
+	n, err := writeFrame(stdin, b.instPayload)
+	b.note(func(i *ExecInfo) { i.ShippedBytes += n })
+	if err != nil {
+		b.retire(wk, true)
+		return nil, fmt.Errorf("shipping instance: %w", err)
+	}
+	return wk, nil
+}
+
+// retire shuts a worker down — gracefully (close stdin, let it exit) or
+// by force — waits it out, and records its peak RSS.
+func (b *poolBuild) retire(wk *workerProc, kill bool) {
+	wk.stdin.Close()
+	if kill {
+		wk.cmd.Process.Kill()
+	}
+	<-wk.readerDone
+	wk.cmd.Wait()
+	if rss := processMaxRSSBytes(wk.cmd.ProcessState); rss > 0 {
+		b.note(func(i *ExecInfo) {
+			if rss > i.MaxWorkerRSSBytes {
+				i.MaxWorkerRSSBytes = rss
+			}
+		})
+	}
+}

@@ -1,0 +1,21 @@
+//go:build linux
+
+package dist
+
+import (
+	"os"
+	"syscall"
+)
+
+// processMaxRSSBytes returns an exited process's peak resident set in
+// bytes (Linux getrusage reports KiB), or 0 when unavailable.
+func processMaxRSSBytes(st *os.ProcessState) int64 {
+	if st == nil {
+		return 0
+	}
+	ru, ok := st.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return 0
+	}
+	return int64(ru.Maxrss) * 1024
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package dist
+
+import "os"
+
+// processMaxRSSBytes reports 0 on platforms where rusage accounting is
+// not wired up; the RSS bench gate only runs where Linux reports it.
+func processMaxRSSBytes(st *os.ProcessState) int64 { return 0 }

@@ -1,0 +1,172 @@
+// Package dist executes the space-sharded AA build through pluggable
+// shard executors: the in-process path (exactly core.AA) and an
+// out-of-process worker pool that dispatches shard builds to forked
+// worker processes over a framed gob protocol on stdin/stdout.
+//
+// The seam is core's shard triple — PlanShards, RunShardPrescreened,
+// MergeShardFragments — which makes a shard build a pure function of
+// (instance, m, Options, ShardBox). The pool ships the instance's raw
+// inputs once per worker (encoded exactly once per build), then one job
+// frame per shard carrying the box and its parent-side prescreen; the
+// worker streams back the shard's region fragment plus its Stats.
+// Purity is what buys the failure model: a crashed or hung worker's
+// shard is simply re-dispatched (or, after bounded retries, computed
+// in-process), and the merged result is byte-identical regardless.
+//
+// Determinism contract: for any shard count and any pool worker count,
+// the merged region and every algorithmic Stats counter are
+// byte-identical to the in-process executor's. Only the transport
+// counters (DispatchedShards, RespawnedWorkers, FallbackInProcess,
+// ShippedBytes) and the scheduling-sensitive pair
+// (StealCount/MaxFrontier at Workers > 1) fall outside the contract.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mir/internal/celltree"
+	"mir/internal/core"
+	"mir/internal/geom"
+	"mir/internal/topk"
+)
+
+// protoVersion guards against a parent and worker built from different
+// trees: the worker rejects an instance frame with the wrong version and
+// the pool treats that worker as unspawnable (falling back in-process)
+// rather than merging fragments from mismatched code.
+const protoVersion = 1
+
+// maxFrameBytes bounds a single frame (1 GiB). Frames near this size
+// mean the instance or a fragment is far beyond anything the build can
+// process anyway; the bound exists so a corrupted length prefix cannot
+// drive a multi-gigabyte allocation.
+const maxFrameBytes = 1 << 30
+
+// instanceFrame is the first frame on a worker's stdin: everything
+// needed to rebuild the instance. The raw inputs ship, not the
+// preprocessed instance — instance construction is deterministic
+// (property-pinned across worker counts and index settings), so the
+// worker's rebuild yields bit-identical halfspaces, scores, and groups,
+// and the wire stays independent of the instance's internal layout.
+type instanceFrame struct {
+	Proto    int
+	Products []geom.Vector
+	Users    []topk.UserPref
+	Opts     core.Options
+	M        int
+}
+
+// jobFrame dispatches one shard: its box and the parent-side prescreen
+// (one geom.Relation byte per user). Rel ships because it is a pure
+// function of (instance, box) that the parent has already paid for —
+// workers never rebuild the halfspace bands.
+//
+// TestCrash and TestHang are fault-injection hooks for the pool's
+// failure-path tests: a worker exits mid-shard (between accepting the
+// job and producing its result) or blocks forever, exercising the
+// respawn-and-retry and timeout paths deterministically. The pool only
+// ever sets them under test.
+type jobFrame struct {
+	Seq       int
+	Lo, Hi    geom.Vector
+	ID, Depth int
+	Rel       []byte
+	TestCrash bool
+	TestHang  bool
+}
+
+// resultFrame streams one shard's result back: the flattened region
+// fragment, the shard's Stats delta (Stats.Cells is the per-shard cell
+// count the merge records in ShardCells), and the scheduler profile.
+// Err is set instead of a payload when the worker could not process the
+// job; the pool treats that like a crash.
+type resultFrame struct {
+	Seq   int
+	Err   string
+	Frag  celltree.Fragment
+	Stats core.Stats
+	Sched *core.SchedStats
+}
+
+// encodeFrame gobs v into a self-contained payload: a fresh encoder per
+// frame, so the payload carries its own type descriptors and can be
+// replayed verbatim to any number of workers (the once-encoded instance
+// buffer depends on this).
+func encodeFrame(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeFrame writes a length-prefixed payload (4-byte big-endian length,
+// then the gob bytes) and returns the total bytes on the wire.
+func writeFrame(w io.Writer, payload []byte) (int64, error) {
+	if len(payload) > maxFrameBytes {
+		return 0, fmt.Errorf("dist: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return int64(4 + len(payload)), nil
+}
+
+// readFrame reads one length-prefixed payload. io.EOF (clean, at a frame
+// boundary) means the peer closed the stream deliberately.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dist: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("dist: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("dist: reading %d-byte frame: %w", n, err)
+	}
+	return payload, nil
+}
+
+// decodeFrame ungobs a self-contained payload into a fresh zero value —
+// fresh because gob omits zero-valued fields, so decoding into a reused
+// struct would leak the previous frame's contents into this one.
+func decodeFrame[T any](payload []byte) (*T, error) {
+	v := new(T)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return nil, fmt.Errorf("dist: decoding frame: %w", err)
+	}
+	return v, nil
+}
+
+// relBytes converts a prescreen classification to its wire form (one
+// byte per user) and back. geom.Relation fits a byte by construction.
+func relBytes(rel []geom.Relation) []byte {
+	out := make([]byte, len(rel))
+	for i, r := range rel {
+		out[i] = byte(r)
+	}
+	return out
+}
+
+func bytesRel(b []byte) []geom.Relation {
+	out := make([]geom.Relation, len(b))
+	for i, v := range b {
+		out[i] = geom.Relation(v)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mir/internal/celltree"
+	"mir/internal/core"
+)
+
+// workerEnv marks a process as a shard worker. The pool spawns its own
+// executable (or an explicit worker binary) with this set, so the worker
+// is always built from the same tree as the parent — there is no
+// separate binary to version-skew against unless the caller asks for
+// one.
+const workerEnv = "MIR_DIST_WORKER"
+
+// IsWorker reports whether this process was spawned as a shard worker.
+func IsWorker() bool { return os.Getenv(workerEnv) == "1" }
+
+// MaybeWorker turns the current process into a shard worker if it was
+// spawned as one, never returning in that case. Call it first thing in
+// main() (and in TestMain for packages whose test binary doubles as the
+// worker) — before flag parsing, so the worker protocol stays
+// independent of the host binary's CLI surface.
+func MaybeWorker() {
+	if IsWorker() {
+		os.Exit(WorkerMain(os.Stdin, os.Stdout))
+	}
+}
+
+// WorkerMain runs the shard-worker protocol: read the instance frame,
+// rebuild the instance, then serve job frames until stdin closes.
+// Anything the worker wants to log goes to stderr; stdout carries only
+// result frames. Returns the process exit code.
+func WorkerMain(in io.Reader, out io.Writer) int {
+	if err := serveWorker(in, out); err != nil {
+		fmt.Fprintf(os.Stderr, "mir dist worker: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func serveWorker(in io.Reader, out io.Writer) error {
+	payload, err := readFrame(in)
+	if err != nil {
+		return fmt.Errorf("reading instance frame: %w", err)
+	}
+	hello, err := decodeFrame[instanceFrame](payload)
+	if err != nil {
+		return fmt.Errorf("decoding instance frame: %w", err)
+	}
+	if hello.Proto != protoVersion {
+		return fmt.Errorf("protocol version %d, worker speaks %d (parent and worker built from different trees?)", hello.Proto, protoVersion)
+	}
+	// Rebuild the instance from raw inputs. Construction is deterministic
+	// and property-pinned byte-identical across worker counts and index
+	// settings, so the rebuilt halfspaces and thresholds match the
+	// parent's bit for bit. The rebuild's preprocessing effort is charged
+	// to this process's Prep, which per-shard fragments never include —
+	// the parent charges its own Prep once at merge — so re-preprocessing
+	// here is invisible in the merged stats.
+	inst, err := core.NewInstanceOpts(hello.Products, hello.Users, hello.Opts)
+	if err != nil {
+		return fmt.Errorf("rebuilding instance: %w", err)
+	}
+	if err := inst.CheckM(hello.M); err != nil {
+		return err
+	}
+	for {
+		payload, err := readFrame(in)
+		if err == io.EOF {
+			return nil // parent closed the stream: clean shutdown
+		}
+		if err != nil {
+			return fmt.Errorf("reading job frame: %w", err)
+		}
+		job, err := decodeFrame[jobFrame](payload)
+		if err != nil {
+			return fmt.Errorf("decoding job frame: %w", err)
+		}
+		if job.TestCrash {
+			// Fault injection: die between accepting the job and producing
+			// its result, exactly where a real crash is hardest (the parent
+			// must detect the dead pipe and re-dispatch the shard).
+			os.Exit(3)
+		}
+		if job.TestHang {
+			select {} // fault injection: hold the job forever (timeout path)
+		}
+		res := runJob(inst, hello.M, hello.Opts, job)
+		frame, err := encodeFrame(res)
+		if err != nil {
+			return fmt.Errorf("encoding result for shard %d: %w", job.Seq, err)
+		}
+		if _, err := writeFrame(out, frame); err != nil {
+			return fmt.Errorf("writing result for shard %d: %w", job.Seq, err)
+		}
+	}
+}
+
+func runJob(inst *core.Instance, m int, opts core.Options, job *jobFrame) resultFrame {
+	res := resultFrame{Seq: job.Seq}
+	if len(job.Rel) != len(inst.Users) {
+		res.Err = fmt.Sprintf("job %d: %d prescreen entries for %d users", job.Seq, len(job.Rel), len(inst.Users))
+		return res
+	}
+	box := core.ShardBox{Lo: job.Lo, Hi: job.Hi, ID: job.ID, Depth: job.Depth}
+	frag := core.RunShardPrescreened(inst, m, opts, box, bytesRel(job.Rel))
+	enc, err := celltree.EncodeFragment(frag.Dim, frag.Cells, frag.MBBs)
+	if err != nil {
+		res.Err = fmt.Sprintf("job %d: %v", job.Seq, err)
+		return res
+	}
+	res.Frag = enc
+	res.Stats = frag.Stats
+	res.Sched = frag.Sched
+	return res
+}
